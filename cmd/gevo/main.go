@@ -1,0 +1,82 @@
+// Command gevo runs the evolutionary search on a workload and reports the
+// best variant, its speedup, and the discovery history — the paper's main
+// tool, scaled for the simulator.
+//
+// Usage:
+//
+//	gevo -workload adept-v1 -arch P100 -pop 32 -gens 40 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/kernels"
+	"gevo/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "adept-v1", "workload: adept-v0, adept-v1, simcov")
+	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
+	pop := flag.Int("pop", 32, "population size (paper: 256)")
+	gens := flag.Int("gens", 40, "generations (paper: 300 ADEPT / 130 SIMCoV)")
+	seed := flag.Uint64("seed", 1, "search seed")
+	mut := flag.Float64("mut", 0.5, "mutation rate (paper: 0.3 at pop 256)")
+	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
+	flag.Parse()
+
+	arch := gpu.ArchByName(*archName)
+	if arch == nil {
+		fmt.Fprintf(os.Stderr, "gevo: unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+	var w workload.Workload
+	var err error
+	switch *wl {
+	case "adept-v0":
+		w, err = workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{Seed: 11})
+	case "adept-v1":
+		w, err = workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11})
+	case "simcov":
+		w, err = workload.NewSIMCoV(workload.SIMCoVOptions{Seed: 3})
+	default:
+		fmt.Fprintf(os.Stderr, "gevo: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gevo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("GEVO search: %s on %s, pop %d x %d generations, seed %d\n",
+		w.Name(), arch.Name, *pop, *gens, *seed)
+	eng := core.NewEngine(w, core.Config{
+		Pop: *pop, Generations: *gens, Seed: *seed, Arch: arch, MutationRate: *mut,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gevo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("base fitness   %.4f ms\n", res.BaseFitness)
+	fmt.Printf("best fitness   %.4f ms (%.3fx) after %d evaluations\n",
+		res.Best.Fitness, res.Speedup, res.Evaluations)
+	fmt.Printf("best genome (%d edits):\n", len(res.Best.Genome))
+	for _, e := range res.Best.Genome {
+		fmt.Printf("  %v\n", e)
+	}
+	fmt.Println("discovery history:")
+	for _, d := range res.History.Discoveries() {
+		fmt.Printf("  gen %3d: %.3fx (+%d edits)\n", d.Gen, d.Speedup, len(d.NewEdits))
+	}
+	if *validate {
+		if err := eng.Validate(res.Best.Genome); err != nil {
+			fmt.Printf("held-out validation: FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("held-out validation: PASSED")
+	}
+}

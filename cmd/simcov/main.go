@@ -1,0 +1,58 @@
+// Command simcov runs the SIMCoV infection simulation on the simulated GPU
+// and prints the per-step epidemiological summary.
+//
+// Usage:
+//
+//	simcov -w 32 -h 24 -steps 40 -arch P100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gevo/internal/gpu"
+	"gevo/internal/simcov"
+	"gevo/internal/workload"
+)
+
+func main() {
+	w := flag.Int("w", 32, "grid width (warp multiple recommended)")
+	h := flag.Int("h", 24, "grid height")
+	steps := flag.Int("steps", 40, "simulation steps")
+	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
+	seed := flag.Uint64("seed", 3, "simulation seed")
+	padded := flag.Bool("padded", false, "use the zero-padded kernel layout (Fig 10c)")
+	flag.Parse()
+
+	arch := gpu.ArchByName(*archName)
+	if arch == nil {
+		fmt.Fprintf(os.Stderr, "simcov: unknown arch %q\n", *archName)
+		os.Exit(2)
+	}
+	s, err := workload.NewSIMCoV(workload.SIMCoVOptions{
+		Seed: *seed, W: *w, H: *h, Steps: *steps, Padded: *padded,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcov:", err)
+		os.Exit(1)
+	}
+	ms, stats, err := s.RunStats(s.Base(), arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcov:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SIMCoV %dx%d x %d steps on %s: %.4f simulated ms of kernel time\n",
+		*w, *h, *steps, arch.Name, ms)
+	fmt.Printf("%5s %8s %8s %8s %8s %8s %8s %10s %10s\n",
+		"step", "healthy", "incub", "express", "apopt", "dead", "tcells", "virions", "chemokine")
+	for i, st := range stats {
+		if i%4 != 0 && i != len(stats)-1 {
+			continue
+		}
+		v := st.Values()
+		fmt.Printf("%5d %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %10.1f %10.1f\n",
+			i+1, v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7])
+	}
+	_ = simcov.StatNames
+}

@@ -1,0 +1,65 @@
+// SIMCoV tuning: the Section VI-D / Figure 10 walkthrough. The
+// boundary-check-removal optimization passes the small fitness grid,
+// segfaults on a near-capacity grid, and the developer's zero-padding fix
+// captures most of the gain safely.
+//
+//	go run ./examples/simcov_tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gevo"
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+)
+
+func main() {
+	s, err := gevo.NewSIMCoV(gevo.SIMCoVOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := s.Evaluate(s.Base(), gpu.P100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIMCoV base:            %.4f ms\n", base)
+
+	// The GEVO optimization: delete all eight boundary-check branches in
+	// both diffusion kernels.
+	edits, err := core.CanonicalSIMCoV(s.Base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	removed := gevo.Variant(s.Base(), edits)
+	opt, err := s.Evaluate(removed, gpu.P100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checks removed:         %.4f ms (%+.1f%%) — passes the fitness grid\n",
+		opt, 100*(base-opt)/base)
+
+	// Held-out validation includes a grid sized against device memory
+	// (Fig 10b): the out-of-bounds reads now cross the arena boundary.
+	if err := s.Validate(removed, gpu.P100); err != nil {
+		fmt.Printf("held-out validation:    FAILS as the paper observed: %v\n", err)
+	} else {
+		fmt.Println("held-out validation unexpectedly passed")
+	}
+
+	// The developer response (Fig 10c): pad the grids with a zero border.
+	p, err := gevo.NewSIMCoV(gevo.SIMCoVOptions{Seed: 3, Padded: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	padded, err := p.Evaluate(p.Base(), gpu.P100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zero-padded fix:        %.4f ms (%+.1f%%)\n", padded, 100*(base-padded)/base)
+	if err := p.Validate(p.Base(), gpu.P100); err != nil {
+		log.Fatalf("padded variant should be safe: %v", err)
+	}
+	fmt.Println("padded variant passes all held-out validation, large grid included")
+}

@@ -1,0 +1,128 @@
+// Package gevo is the public API of GEVO-Go, a reproduction of
+// "Understanding the Power of Evolutionary Computation for GPU Code
+// Optimization" (Liou et al., IISWC 2022). It evolves GPU kernels —
+// expressed in a compact SSA IR and executed on a cycle-accurate-in-spirit
+// SIMT simulator — to minimize kernel runtime while preserving test-suite
+// behaviour.
+//
+// The three layers, bottom to top:
+//
+//   - internal/ir + internal/gpu: the LLVM-IR and NVIDIA-GPU substitutes
+//     (see DESIGN.md for the substitution argument);
+//   - internal/workload: the paper's two applications, ADEPT sequence
+//     alignment and the SIMCoV infection model, wired to fitness and
+//     held-out validation;
+//   - internal/core + internal/analysis: the evolutionary engine and the
+//     Section V edit-analysis algorithms.
+//
+// This package re-exports the types a downstream user needs; examples/ holds
+// runnable walkthroughs and cmd/ the operational tools.
+package gevo
+
+import (
+	"gevo/internal/analysis"
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/kernels"
+	"gevo/internal/workload"
+)
+
+// Re-exported core types.
+type (
+	// Edit is one code modification; a genome is an ordered []Edit.
+	Edit = core.Edit
+	// Config holds evolutionary-search parameters (paper Section III-E).
+	Config = core.Config
+	// Engine runs the GEVO search.
+	Engine = core.Engine
+	// Result summarizes a finished search.
+	Result = core.Result
+	// History records the per-generation trajectory (Figures 6 and 8).
+	History = core.History
+	// Individual is one population member.
+	Individual = core.Individual
+
+	// Workload is an optimizable GPU application.
+	Workload = workload.Workload
+	// ADEPTWorkload is the sequence-alignment application.
+	ADEPTWorkload = workload.ADEPT
+	// SIMCoVWorkload is the infection-simulation application.
+	SIMCoVWorkload = workload.SIMCoV
+	// ADEPTOptions configures ADEPT dataset generation.
+	ADEPTOptions = workload.ADEPTOptions
+	// SIMCoVOptions configures the simulation scale.
+	SIMCoVOptions = workload.SIMCoVOptions
+
+	// Arch describes a simulated GPU (Table I).
+	Arch = gpu.Arch
+	// Device is a simulated GPU instance.
+	Device = gpu.Device
+)
+
+// Edit kinds (the paper's mutation operators).
+const (
+	EditDelete         = core.EditDelete
+	EditCopy           = core.EditCopy
+	EditMove           = core.EditMove
+	EditSwap           = core.EditSwap
+	EditReplaceInstr   = core.EditReplaceInstr
+	EditReplaceOperand = core.EditReplaceOperand
+)
+
+// ADEPT code versions (paper Section III-B).
+const (
+	ADEPTV0 = kernels.ADEPTV0
+	ADEPTV1 = kernels.ADEPTV1
+)
+
+// The three evaluation GPUs of Table I.
+var (
+	P100      = gpu.P100
+	GTX1080Ti = gpu.GTX1080Ti
+	V100      = gpu.V100
+	// Architectures lists them in Table I order.
+	Architectures = gpu.Architectures
+)
+
+// NewEngine creates a search engine for a workload.
+func NewEngine(w Workload, cfg Config) *Engine { return core.NewEngine(w, cfg) }
+
+// DefaultConfig returns the paper's search parameters (pop 256, elitism 4,
+// 80% crossover, 30% mutation).
+func DefaultConfig(arch *Arch) Config { return core.DefaultConfig(arch) }
+
+// NewADEPT builds the sequence-alignment workload for the given code
+// version.
+func NewADEPT(v kernels.ADEPTVersion, opt ADEPTOptions) (*ADEPTWorkload, error) {
+	return workload.NewADEPT(v, opt)
+}
+
+// NewSIMCoV builds the infection-simulation workload.
+func NewSIMCoV(opt SIMCoVOptions) (*SIMCoVWorkload, error) {
+	return workload.NewSIMCoV(opt)
+}
+
+// Analysis re-exports (paper Section V).
+type (
+	// Evaluator measures fitness of the base program plus an edit subset.
+	Evaluator = analysis.Evaluator
+	// SubsetResult is one point of the exhaustive epistasis search (Fig 7).
+	SubsetResult = analysis.SubsetResult
+	// DepGraph is the Figure 7 dependency structure.
+	DepGraph = analysis.DepGraph
+)
+
+// Minimize implements the paper's Algorithm 1 (weak-edit elimination).
+var Minimize = analysis.Minimize
+
+// Split implements the paper's Algorithm 2 (independent vs epistatic).
+var Split = analysis.Split
+
+// Subsets exhaustively evaluates edit subsets (Figure 7).
+var Subsets = analysis.Subsets
+
+// Dependencies derives the Figure 7 dependency graph from subset results.
+var Dependencies = analysis.Dependencies
+
+// Variant clones a workload's base module and applies a genome.
+var Variant = core.Variant

@@ -1,0 +1,205 @@
+package align
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure2Matrix reproduces the paper's Figure 2 worked example exactly:
+// aligning ATGCT (query, columns) against AGCT (reference, rows) with match
+// +2, mismatch −2, gap −1.
+func TestFigure2Matrix(t *testing.T) {
+	p := Pair{Ref: []byte("AGCT"), Query: []byte("ATGCT")}
+	H := Matrix(p, Figure2Scoring)
+	want := [][]int32{
+		{0, 0, 0, 0, 0, 0},
+		{0, 2, 1, 0, 0, 0},
+		{0, 1, 0, 3, 2, 1},
+		{0, 0, 0, 2, 5, 4},
+		{0, 0, 2, 1, 4, 7},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if H[i][j] != want[i][j] {
+				t.Errorf("H[%d][%d] = %d, want %d", i, j, H[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestFigure2Traceback reproduces Figure 2(c): the alignment ATGCT / A-GCT.
+func TestFigure2Traceback(t *testing.T) {
+	p := Pair{Ref: []byte("AGCT"), Query: []byte("ATGCT")}
+	refRow, queryRow := Traceback(p, Figure2Scoring)
+	if queryRow != "ATGCT" || refRow != "A-GCT" {
+		t.Errorf("traceback = %q / %q, want ATGCT / A-GCT", queryRow, refRow)
+	}
+}
+
+func TestForwardEndPositions(t *testing.T) {
+	p := Pair{Ref: []byte("AGCT"), Query: []byte("ATGCT")}
+	res := Forward(p, Figure2Scoring)
+	if res.Score != 7 {
+		t.Errorf("score = %d, want 7", res.Score)
+	}
+	if res.RefEnd != 3 || res.QueryEnd != 4 {
+		t.Errorf("end = (%d,%d), want (3,4)", res.RefEnd, res.QueryEnd)
+	}
+}
+
+func TestAlignStartPositions(t *testing.T) {
+	// Query is an exact infix of the reference.
+	p := Pair{Ref: []byte("TTTTACGTACGTTTTT"), Query: []byte("ACGTACGT")}
+	res := Align(p, DefaultScoring)
+	if res.Score != 8*DefaultScoring.Match {
+		t.Errorf("score = %d, want %d", res.Score, 8*DefaultScoring.Match)
+	}
+	if res.RefStart != 4 || res.RefEnd != 11 {
+		t.Errorf("ref span = [%d,%d], want [4,11]", res.RefStart, res.RefEnd)
+	}
+	if res.QueryStart != 0 || res.QueryEnd != 7 {
+		t.Errorf("query span = [%d,%d], want [0,7]", res.QueryStart, res.QueryEnd)
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	res := Forward(Pair{}, DefaultScoring)
+	if res.Score != 0 || res.RefEnd != -1 {
+		t.Errorf("empty alignment = %+v", res)
+	}
+	res = Align(Pair{Ref: []byte("ACGT")}, DefaultScoring)
+	if res.Score != 0 {
+		t.Errorf("empty query score = %d", res.Score)
+	}
+}
+
+func TestNoPositiveAlignment(t *testing.T) {
+	// Disjoint alphabets: nothing aligns.
+	p := Pair{Ref: []byte("AAAA"), Query: []byte("TTTT")}
+	res := Align(p, DefaultScoring)
+	if res.Score != 0 {
+		t.Errorf("score = %d, want 0", res.Score)
+	}
+	if res.RefEnd != -1 || res.QueryEnd != -1 {
+		t.Errorf("expected sentinel ends, got %+v", res)
+	}
+}
+
+func TestAffineGapPreference(t *testing.T) {
+	// With affine gaps, one long gap must beat two short ones. Query matches
+	// reference with a 2-char deletion.
+	s := Scoring{Match: 3, Mismatch: -3, GapOpen: 6, GapExtend: 1}
+	p := Pair{Ref: []byte("ACGTTTACGT"), Query: []byte("ACGTACGT")}
+	res := Align(p, s)
+	// 8 matches (24) − open (6) − extend (1) = 17.
+	if res.Score != 17 {
+		t.Errorf("score = %d, want 17", res.Score)
+	}
+}
+
+// TestIdentityProperty checks score of self-alignment is len*match for any
+// sequence (property-based).
+func TestIdentityProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		seq := make([]byte, len(raw))
+		for i, b := range raw {
+			seq[i] = dnaAlphabet[int(b)%4]
+		}
+		res := Forward(Pair{Ref: seq, Query: seq}, DefaultScoring)
+		return res.Score == int32(len(seq))*DefaultScoring.Match
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreSymmetry checks Smith-Waterman score is symmetric in its
+// arguments (property-based).
+func TestScoreSymmetry(t *testing.T) {
+	f := func(a, b []byte) bool {
+		pa := clampDNA(a, 48)
+		pb := clampDNA(b, 48)
+		if len(pa) == 0 || len(pb) == 0 {
+			return true
+		}
+		r1 := Forward(Pair{Ref: pa, Query: pb}, DefaultScoring)
+		r2 := Forward(Pair{Ref: pb, Query: pa}, DefaultScoring)
+		return r1.Score == r2.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreUpperBound checks the score never exceeds min(len)*match
+// (property-based).
+func TestScoreUpperBound(t *testing.T) {
+	f := func(a, b []byte) bool {
+		pa := clampDNA(a, 40)
+		pb := clampDNA(b, 40)
+		if len(pa) == 0 || len(pb) == 0 {
+			return true
+		}
+		res := Forward(Pair{Ref: pa, Query: pb}, DefaultScoring)
+		bound := int32(min(len(pa), len(pb))) * DefaultScoring.Match
+		return res.Score >= 0 && res.Score <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampDNA(raw []byte, maxLen int) []byte {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = dnaAlphabet[int(b)%4]
+	}
+	return out
+}
+
+func TestGeneratePairsDeterminism(t *testing.T) {
+	a := GeneratePairs(42, 10, 64, 48)
+	b := GeneratePairs(42, 10, 64, 48)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("wrong count: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i].Ref) != string(b[i].Ref) || string(a[i].Query) != string(b[i].Query) {
+			t.Fatalf("pair %d differs between identical seeds", i)
+		}
+	}
+	c := GeneratePairs(43, 10, 64, 48)
+	same := true
+	for i := range a {
+		if string(a[i].Ref) != string(c[i].Ref) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGeneratedPairsAlignWell(t *testing.T) {
+	pairs := GeneratePairs(7, 20, 96, 64)
+	for i, p := range pairs {
+		if len(p.Ref) != 96 || len(p.Query) != 64 {
+			t.Fatalf("pair %d has lengths %d/%d", i, len(p.Ref), len(p.Query))
+		}
+		res := Align(p, DefaultScoring)
+		// Queries are mutated windows of the reference: they must align far
+		// better than chance.
+		if res.Score < 32*DefaultScoring.Match/2 {
+			t.Errorf("pair %d aligns poorly: score %d", i, res.Score)
+		}
+	}
+}

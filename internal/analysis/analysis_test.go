@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/kernels"
+	"gevo/internal/workload"
+)
+
+// fakeEval builds a synthetic fitness landscape over edit indices: base 100,
+// each "good" edit subtracts its value when its dependencies are present;
+// edits with unmet dependencies make the program fail.
+type fakeEdit struct {
+	gain float64
+	deps []int
+}
+
+func fakeEvaluator(defs []fakeEdit) (Evaluator, []core.Edit) {
+	edits := make([]core.Edit, len(defs))
+	for i := range edits {
+		edits[i] = core.Edit{Kind: core.EditDelete, Func: "k", Target: i + 1}
+	}
+	eval := func(subset []core.Edit) (float64, error) {
+		have := map[int]bool{}
+		for _, e := range subset {
+			have[e.Target-1] = true
+		}
+		f := 100.0
+		for i, d := range defs {
+			if !have[i] {
+				continue
+			}
+			for _, dep := range d.deps {
+				if !have[dep] {
+					return 0, errors.New("exec failed")
+				}
+			}
+			f -= d.gain
+		}
+		return f, nil
+	}
+	return eval, edits
+}
+
+// TestMinimizeDropsWeakEdits checks Algorithm 1 keeps significant edits and
+// drops sub-threshold ones.
+func TestMinimizeDropsWeakEdits(t *testing.T) {
+	eval, edits := fakeEvaluator([]fakeEdit{
+		{gain: 5},   // significant
+		{gain: 0.1}, // weak
+		{gain: 3},   // significant
+		{gain: 0.2}, // weak
+	})
+	res, err := Minimize(eval, edits, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 2 || res.Kept[0] != 0 || res.Kept[1] != 2 {
+		t.Errorf("kept = %v, want [0 2]", res.Kept)
+	}
+	if len(res.Weak) != 2 {
+		t.Errorf("weak = %v, want 2 entries", res.Weak)
+	}
+}
+
+// TestMinimizeKeepsLoadBearing checks an edit whose removal breaks the
+// program is kept.
+func TestMinimizeKeepsLoadBearing(t *testing.T) {
+	// Edit 1 depends on edit 0: removing 0 while 1 present fails.
+	eval, edits := fakeEvaluator([]fakeEdit{
+		{gain: 0.05},              // weak on its own, but load-bearing
+		{gain: 8, deps: []int{0}}, // significant, needs 0
+	})
+	res, err := Minimize(eval, edits, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 2 {
+		t.Errorf("kept = %v, want both (0 is load-bearing)", res.Kept)
+	}
+}
+
+// TestSplitSeparatesIndependent checks Algorithm 2's classification.
+func TestSplitSeparatesIndependent(t *testing.T) {
+	eval, edits := fakeEvaluator([]fakeEdit{
+		{gain: 4},                 // independent
+		{gain: 2},                 // independent
+		{gain: 6, deps: []int{3}}, // epistatic (needs 3)
+		{gain: 0},                 // epistatic partner (enabler)
+	})
+	res, err := Split(eval, edits, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 and 1 are independent; 2 fails alone, and removing the enabler 3
+	// while 2 is present fails, so both stay epistatic.
+	if len(res.Independent) != 2 || res.Independent[0] != 0 || res.Independent[1] != 1 {
+		t.Errorf("independent = %v, want [0 1]", res.Independent)
+	}
+	found := map[int]bool{}
+	for _, i := range res.Epistatic {
+		found[i] = true
+	}
+	if !found[2] || !found[3] {
+		t.Errorf("edits 2 and 3 should be epistatic: %v", res.Epistatic)
+	}
+	if res.IndepGain < 0.059 || res.IndepGain > 0.061 {
+		t.Errorf("independent gain = %v, want ~0.06", res.IndepGain)
+	}
+}
+
+// TestSubsetsAndDependencies checks the exhaustive search and the dependency
+// derivation on a synthetic epistatic cluster shaped like Figure 7.
+func TestSubsetsAndDependencies(t *testing.T) {
+	// 6 is the enabler; 8 and 10 depend on 6; 5 depends on all three.
+	eval, edits := fakeEvaluator([]fakeEdit{
+		{gain: 0},                       // "6"
+		{gain: 5, deps: []int{0}},       // "8"
+		{gain: 4, deps: []int{0}},       // "10"
+		{gain: 3, deps: []int{0, 1, 2}}, // "5"
+	})
+	subsets, err := Subsets(eval, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subsets) != 16 {
+		t.Fatalf("want 16 subsets, got %d", len(subsets))
+	}
+	g := Dependencies(subsets, len(edits))
+	if g.FailsAlone[0] {
+		t.Error("enabler should run alone")
+	}
+	for _, i := range []int{1, 2, 3} {
+		if !g.FailsAlone[i] {
+			t.Errorf("edit %d should fail alone", i)
+		}
+	}
+	wantDeps := map[int][]int{1: {0}, 2: {0}, 3: {0, 1, 2}}
+	for i, want := range wantDeps {
+		got := g.DependsOn[i]
+		if len(got) != len(want) {
+			t.Errorf("deps(%d) = %v, want %v", i, got, want)
+			continue
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Errorf("deps(%d) = %v, want %v", i, got, want)
+			}
+		}
+	}
+	if g.BestSubset.Mask != 0b1111 {
+		t.Errorf("best subset = %b, want full set", g.BestSubset.Mask)
+	}
+	if math.Abs(g.BestSubset.Improvement-0.12) > 1e-9 {
+		t.Errorf("best improvement = %v, want 0.12", g.BestSubset.Improvement)
+	}
+}
+
+// TestSubsetBound checks the exhaustive search refuses oversized sets.
+func TestSubsetBound(t *testing.T) {
+	eval, _ := fakeEvaluator(nil)
+	edits := make([]core.Edit, MaxSubsetEdits+1)
+	if _, err := Subsets(eval, edits); err == nil {
+		t.Fatal("oversized subset search should fail")
+	}
+}
+
+// TestADEPTV1EpistasisStructure runs the real Figure 7 analysis on the
+// canonical ADEPT-V1 epistatic cluster (forward kernel's edits 6/8/10/5):
+// 8, 10 and 5 must fail alone; the full cluster must be the best subset.
+func TestADEPTV1EpistasisStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-heavy analysis")
+	}
+	a, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 3, HoldoutPairs: 3, RefLen: 96, QueryLen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, _, err := core.CanonicalADEPTV1(a.Base(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster edits must be applied to both kernels together for the
+	// full-program fitness to see them; analyze the pairs as units.
+	cluster := [][]core.Edit{
+		{named["edit6/fwd"], named["edit6/rev"]},
+		{named["edit8/fwd"], named["edit8/rev"]},
+		{named["edit10/fwd"], named["edit10/rev"]},
+		{named["edit5/fwd"], named["edit5/rev"]},
+	}
+	units := make([]core.Edit, len(cluster))
+	// Represent each unit by a pseudo-edit; expand on evaluation.
+	for i := range cluster {
+		units[i] = core.Edit{Kind: core.EditDelete, Func: "unit", Target: i}
+	}
+	eval := func(subset []core.Edit) (float64, error) {
+		var edits []core.Edit
+		for _, u := range subset {
+			edits = append(edits, cluster[u.Target]...)
+		}
+		m := core.Variant(a.Base(), edits)
+		return a.Evaluate(m, gpu.P100)
+	}
+	subsets, err := Subsets(eval, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Dependencies(subsets, len(units))
+	if g.FailsAlone[0] {
+		t.Error("edit 6 should be valid alone (the stepping stone)")
+	}
+	for i, name := range []string{"", "edit8", "edit10", "edit5"} {
+		if i > 0 && !g.FailsAlone[i] {
+			t.Errorf("%s should fail alone (paper Fig 7)", name)
+		}
+	}
+	full := subsets[0b1111]
+	if !full.Valid {
+		t.Fatal("full cluster invalid")
+	}
+	t.Logf("cluster improvement: %+.1f%%; table:\n%s", full.Improvement*100,
+		FormatSubsets(subsets, []string{"6", "8", "10", "5"}))
+	if full.Improvement < 0.08 {
+		t.Errorf("full cluster improvement %.1f%% too small", full.Improvement*100)
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gevo/internal/gpu"
+	"gevo/internal/rng"
+	"gevo/internal/workload"
+)
+
+// Config holds the evolutionary search parameters. The defaults mirror
+// Section III-E: population 256, four elites, 80% crossover, 30% mutation.
+type Config struct {
+	// Pop is the population size.
+	Pop int
+	// Elite is the number of best individuals copied unchanged into the
+	// next generation.
+	Elite int
+	// CrossoverRate is the per-offspring crossover probability.
+	CrossoverRate float64
+	// MutationRate is the per-offspring mutation probability.
+	MutationRate float64
+	// Generations is the search budget (the paper's 7-day ADEPT budget ran
+	// ~300 generations; the 2-day SIMCoV budget ~130).
+	Generations int
+	// TournamentK is the tournament-selection size.
+	TournamentK int
+	// Seed drives the whole search deterministically.
+	Seed uint64
+	// Arch selects the simulated GPU fitness is measured on.
+	Arch *gpu.Arch
+	// Workers bounds parallel fitness evaluations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the paper's search parameters (Section III-E).
+func DefaultConfig(arch *gpu.Arch) Config {
+	return Config{
+		Pop: 256, Elite: 4, CrossoverRate: 0.8, MutationRate: 0.3,
+		Generations: 300, TournamentK: 3, Seed: 1, Arch: arch,
+	}
+}
+
+func (c *Config) fill() {
+	if c.Pop <= 0 {
+		c.Pop = 256
+	}
+	if c.Elite <= 0 {
+		c.Elite = 4
+	}
+	if c.CrossoverRate == 0 {
+		c.CrossoverRate = 0.8
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.3
+	}
+	if c.Generations <= 0 {
+		c.Generations = 100
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 3
+	}
+	if c.Arch == nil {
+		c.Arch = gpu.P100
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Individual is one population member: a genome and its measured fitness
+// (simulated kernel milliseconds; +Inf for invalid variants).
+type Individual struct {
+	Genome  []Edit
+	Fitness float64
+}
+
+// Valid reports whether the individual passed all test cases.
+func (ind *Individual) Valid() bool { return !math.IsInf(ind.Fitness, 1) }
+
+// Result summarizes a finished search.
+type Result struct {
+	// Best is the best-ever individual.
+	Best Individual
+	// BaseFitness is the unmodified program's fitness.
+	BaseFitness float64
+	// Speedup is BaseFitness / Best.Fitness.
+	Speedup float64
+	// History records the per-generation trajectory.
+	History *History
+	// Evaluations counts fitness evaluations performed (cache misses).
+	Evaluations int
+}
+
+// Engine runs the GEVO search over one workload.
+type Engine struct {
+	w     workload.Workload
+	cfg   Config
+	r     *rng.R
+	cache map[string]float64
+	mu    sync.Mutex
+	evals int
+}
+
+// NewEngine creates a search engine for the workload.
+func NewEngine(w workload.Workload, cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{
+		w:     w,
+		cfg:   cfg,
+		r:     rng.New(cfg.Seed),
+		cache: make(map[string]float64),
+	}
+}
+
+// fitness evaluates a genome (with caching).
+func (e *Engine) fitness(genome []Edit) float64 {
+	key := GenomeKey(genome)
+	e.mu.Lock()
+	if f, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return f
+	}
+	e.mu.Unlock()
+
+	m := Variant(e.w.Base(), genome)
+	ms, err := e.w.Evaluate(m, e.cfg.Arch)
+	if err != nil {
+		ms = math.Inf(1)
+	}
+	e.mu.Lock()
+	e.cache[key] = ms
+	e.evals++
+	e.mu.Unlock()
+	return ms
+}
+
+// evaluateAll fills in fitness for the population in parallel.
+func (e *Engine) evaluateAll(pop []Individual) {
+	sem := make(chan struct{}, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range pop {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ind *Individual) {
+			defer wg.Done()
+			ind.Fitness = e.fitness(ind.Genome)
+			<-sem
+		}(&pop[i])
+	}
+	wg.Wait()
+}
+
+// tournament picks the best of K random individuals.
+func (e *Engine) tournament(pop []Individual) *Individual {
+	best := &pop[e.r.Intn(len(pop))]
+	for i := 1; i < e.cfg.TournamentK; i++ {
+		c := &pop[e.r.Intn(len(pop))]
+		if c.Fitness < best.Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// Run executes the search and returns the result. The search is
+// deterministic in Config.Seed.
+func (e *Engine) Run() (*Result, error) {
+	base := e.fitness(nil)
+	if math.IsInf(base, 1) {
+		return nil, fmt.Errorf("core: base program fails its own test suite")
+	}
+	hist := NewHistory(base)
+
+	// Initial population: single random edits against the base program.
+	pop := make([]Individual, e.cfg.Pop)
+	for i := range pop {
+		if ed, ok := RandomEdit(e.w.Base(), e.r); ok {
+			pop[i].Genome = []Edit{ed}
+		}
+	}
+
+	for gen := 1; gen <= e.cfg.Generations; gen++ {
+		e.evaluateAll(pop)
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness < pop[j].Fitness })
+		hist.Record(gen, pop)
+
+		if gen == e.cfg.Generations {
+			break
+		}
+		next := make([]Individual, 0, e.cfg.Pop)
+		// Elitism: the paper retains the four best individuals.
+		for i := 0; i < e.cfg.Elite && i < len(pop); i++ {
+			next = append(next, Individual{Genome: append([]Edit(nil), pop[i].Genome...)})
+		}
+		for len(next) < e.cfg.Pop {
+			p1 := e.tournament(pop)
+			genome := append([]Edit(nil), p1.Genome...)
+			if e.r.Float64() < e.cfg.CrossoverRate {
+				p2 := e.tournament(pop)
+				genome = Crossover(p1.Genome, p2.Genome, e.r)
+			}
+			if e.r.Float64() < e.cfg.MutationRate {
+				genome = Mutate(e.w.Base(), genome, e.r)
+			}
+			next = append(next, Individual{Genome: genome})
+		}
+		pop = next
+	}
+
+	best := hist.BestEver()
+	return &Result{
+		Best:        best,
+		BaseFitness: base,
+		Speedup:     base / best.Fitness,
+		History:     hist,
+		Evaluations: e.evals,
+	}, nil
+}
+
+// Validate runs the workload's held-out validation on a genome, mirroring
+// the paper's final validation of the optimized program.
+func (e *Engine) Validate(genome []Edit) error {
+	m := Variant(e.w.Base(), genome)
+	return e.w.Validate(m, e.cfg.Arch)
+}

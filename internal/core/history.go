@@ -1,0 +1,122 @@
+package core
+
+import "math"
+
+// GenRecord is one generation's summary: the data behind the paper's
+// Figures 6 (speedup trajectories across runs) and 8 (when each edit of the
+// epistatic cluster was discovered).
+type GenRecord struct {
+	Gen int
+	// BestFitness is the generation's best (lowest) fitness.
+	BestFitness float64
+	// MeanFitness averages the valid individuals.
+	MeanFitness float64
+	// ValidFrac is the fraction of individuals passing all test cases.
+	ValidFrac float64
+	// NewBest marks generations that improved on the best-ever fitness.
+	NewBest bool
+	// BestGenome is recorded when NewBest (a copy).
+	BestGenome []Edit
+}
+
+// History accumulates per-generation records of one search run.
+type History struct {
+	// Base is the unmodified program's fitness.
+	Base    float64
+	Records []GenRecord
+
+	bestFitness float64
+	bestGenome  []Edit
+}
+
+// NewHistory starts a history with the base fitness.
+func NewHistory(base float64) *History {
+	return &History{Base: base, bestFitness: base}
+}
+
+// Record appends a generation summary; pop must be sorted by fitness.
+func (h *History) Record(gen int, pop []Individual) {
+	rec := GenRecord{Gen: gen, BestFitness: math.Inf(1)}
+	var sum float64
+	var valid int
+	for i := range pop {
+		if pop[i].Valid() {
+			valid++
+			sum += pop[i].Fitness
+			if pop[i].Fitness < rec.BestFitness {
+				rec.BestFitness = pop[i].Fitness
+			}
+		}
+	}
+	if valid > 0 {
+		rec.MeanFitness = sum / float64(valid)
+	}
+	if len(pop) > 0 {
+		rec.ValidFrac = float64(valid) / float64(len(pop))
+	}
+	if rec.BestFitness < h.bestFitness {
+		h.bestFitness = rec.BestFitness
+		for i := range pop {
+			if pop[i].Fitness == rec.BestFitness {
+				h.bestGenome = append([]Edit(nil), pop[i].Genome...)
+				break
+			}
+		}
+		rec.NewBest = true
+		rec.BestGenome = append([]Edit(nil), h.bestGenome...)
+	}
+	h.Records = append(h.Records, rec)
+}
+
+// BestEver returns the best individual observed across all generations.
+func (h *History) BestEver() Individual {
+	return Individual{Genome: append([]Edit(nil), h.bestGenome...), Fitness: h.bestFitness}
+}
+
+// Speedups returns the best-so-far speedup per generation (base fitness over
+// running-best fitness) — the y-axis of Figures 6 and 8.
+func (h *History) Speedups() []float64 {
+	out := make([]float64, len(h.Records))
+	best := h.Base
+	for i, r := range h.Records {
+		if r.BestFitness < best {
+			best = r.BestFitness
+		}
+		out[i] = h.Base / best
+	}
+	return out
+}
+
+// DiscoverySequence reports, for each generation with a new best, which
+// edits first appeared in the best genome at that generation — the paper's
+// Figure 8 reconstruction of how the epistatic cluster assembled.
+type Discovery struct {
+	Gen      int
+	Speedup  float64
+	Genome   []Edit
+	NewEdits []Edit
+}
+
+// Discoveries extracts the new-best sequence from the history.
+func (h *History) Discoveries() []Discovery {
+	var out []Discovery
+	seen := map[string]bool{}
+	for _, r := range h.Records {
+		if !r.NewBest {
+			continue
+		}
+		d := Discovery{Gen: r.Gen, Speedup: h.Base / r.BestFitness, Genome: r.BestGenome}
+		for _, e := range r.BestGenome {
+			k := e.Key()
+			if !seen[k] {
+				d.NewEdits = append(d.NewEdits, e)
+			}
+		}
+		// Mark after collecting so duplicates within one genome count once.
+		for _, e := range r.BestGenome {
+			seen[e.Key()] = true
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gevo/internal/gpu"
+	"gevo/internal/kernels"
+	"gevo/internal/rng"
+	"gevo/internal/workload"
+)
+
+// TestMutationPipelineRobustness fuzzes the full variant pipeline: random
+// multi-edit genomes applied to both workloads must never panic the
+// verifier, compiler or simulator — they may only fail cleanly (worst
+// fitness). This is the property the engine's unattended long runs depend
+// on, and it exercises the same mutant population GEVO wades through
+// (Schulte et al.'s mutational-robustness regime, Section VIII).
+func TestMutationPipelineRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz-style test")
+	}
+	a, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 64, QueryLen: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.NewSIMCoV(workload.SIMCoVOptions{
+		Seed: 3, W: 32, H: 8, Steps: 4, LargeW: 32, LargeH: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(2024)
+	for _, w := range []workload.Workload{a, s} {
+		valid, invalid := 0, 0
+		for trial := 0; trial < 120; trial++ {
+			nEdits := 1 + r.Intn(3)
+			var genome []Edit
+			m := w.Base().Clone()
+			for k := 0; k < nEdits; k++ {
+				e, ok := RandomEdit(m, r)
+				if !ok {
+					break
+				}
+				e.Apply(m)
+				genome = append(genome, e)
+			}
+			variant := Variant(w.Base(), genome)
+			ms, err := w.Evaluate(variant, gpu.P100)
+			switch {
+			case err != nil:
+				invalid++
+			case math.IsInf(ms, 1) || math.IsNaN(ms) || ms < 0:
+				t.Fatalf("%s: nonsensical fitness %v for %v", w.Name(), ms, genome)
+			default:
+				valid++
+			}
+		}
+		t.Logf("%s: %d valid / %d invalid variants, no panics", w.Name(), valid, invalid)
+		if valid == 0 {
+			t.Errorf("%s: no random variant survived; mutation space too hostile", w.Name())
+		}
+	}
+}

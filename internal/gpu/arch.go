@@ -1,0 +1,176 @@
+// Package gpu implements a SIMT GPU simulator that executes internal/ir
+// kernels both functionally and under a timing model. It substitutes for the
+// physical NVIDIA GPUs in the paper (P100, GTX 1080 Ti, V100 — Table I):
+// fitness in the evolutionary search is the simulated kernel time this
+// package reports.
+//
+// The timing model covers exactly the mechanisms the paper's Section VI
+// analysis attributes performance to:
+//
+//   - warp lock-step execution with branch divergence, reconverging at the
+//     immediate post-dominator (Section VI-A: divergence makes the
+//     register-shuffle fast path pay for the shared-memory slow path);
+//   - shared-memory bank conflicts and global-memory coalescing;
+//   - __syncthreads barrier costs (Section VI-C: ADEPT-V0's per-element
+//     memset + barrier loop);
+//   - warp-level primitives, with ballot_sync charged a reconvergence
+//     penalty only on architectures with independent thread scheduling
+//     (Section VI-B: removing ballot_sync helps on V100 but not P100);
+//   - a device memory arena whose bounds produce the out-of-bounds fault
+//     behaviour of Figure 10.
+package gpu
+
+import "fmt"
+
+// Arch describes one GPU architecture: the Table I characteristics plus the
+// cost-model parameters (in core clock cycles) used by the timing model.
+type Arch struct {
+	// Table I characteristics.
+	Name      string
+	Family    string // architecture family: "Pascal" or "Volta"
+	CUDACores int
+	CoreMHz   int
+	MemSize   string // marketing memory description, e.g. "16GB HBM2"
+
+	// Microarchitecture shape.
+	SMs      int // streaming multiprocessors
+	WarpSize int // threads per warp (32 on all NVIDIA parts)
+	// MaxThreadsPerBlock bounds launch configurations.
+	MaxThreadsPerBlock int
+	// SharedMemPerBlock is the shared-memory capacity per thread block in
+	// bytes; kernels requesting more fail to launch.
+	SharedMemPerBlock int
+
+	// IndependentThreadSched is true on Volta and later: warps may be
+	// subdivided and scheduled independently, which is why ballot_sync is
+	// required — and costly — inside divergent branches (Section VI-B).
+	IndependentThreadSched bool
+
+	// Instruction issue costs, in cycles per warp instruction.
+	IssueALU  float64 // integer ALU op
+	IssueDiv  float64 // integer divide/remainder (emulated on GPUs, slow)
+	IssueFP   float64 // double-precision op
+	IssueConv float64 // conversions, selects, comparisons
+	ShflCost  float64 // __shfl_sync register exchange
+	// BallotCost is the cost of __ballot_sync: cheap on Pascal, expensive on
+	// Volta where it forces warp reconvergence.
+	BallotCost     float64
+	ActiveMaskCost float64
+	BranchCost     float64
+	// DivergePenalty is charged when a conditional branch actually diverges
+	// (both paths taken by some lanes), modeling reconvergence-stack
+	// management.
+	DivergePenalty float64
+	// DivergedMemPenalty is charged on loads executed while the warp is
+	// diverged: the idle lanes of the other path cannot hide the access
+	// latency, so it is exposed (stores retire through the store queue and
+	// are exempt). This is the mechanism behind the paper's Section VI-A
+	// finding — the lane-0 shared-memory slow path stalls the whole warp,
+	// erasing the register fast path's advantage.
+	DivergedMemPenalty float64
+	// QuarterWarpSkew models sub-warp issue scheduling: an instruction whose
+	// lowest active lane sits in a later quarter-warp waits for the earlier
+	// issue slots, costing Skew per quarter skipped. It reproduces the edit-5
+	// effect of Figure 9 (moving the cross-warp publish from lane 31 to
+	// lane 0 recovers the skew), the paper's suspected "memory access
+	// scheduling" explanation.
+	QuarterWarpSkew float64
+
+	// Memory system costs.
+	SharedLatency float64 // shared-memory access, conflict-free
+	// SharedConflictCost is charged per extra replay when lanes hit distinct
+	// words in the same bank.
+	SharedConflictCost float64
+	GlobalLatency      float64 // first 128B transaction of a global access
+	GlobalTxCost       float64 // each additional 128B transaction
+	AtomicCost         float64 // uncontended atomic
+	AtomicSerialCost   float64 // per extra lane contending the same address
+	BarrierCost        float64 // __syncthreads, per warp per barrier
+
+	// MemBytes is the simulated device memory arena capacity. It is scaled
+	// far below the physical card (the interpreter holds the arena in host
+	// memory); experiments that depend on capacity (Fig 10) size their grids
+	// against this value.
+	MemBytes int
+}
+
+func (a *Arch) String() string {
+	return fmt.Sprintf("%s (%s, %d cores @ %d MHz, %s)", a.Name, a.Family, a.CUDACores, a.CoreMHz, a.MemSize)
+}
+
+// TimeMS converts a cycle count at this architecture's core clock to
+// milliseconds.
+func (a *Arch) TimeMS(cycles float64) float64 {
+	return cycles / (float64(a.CoreMHz) * 1000.0)
+}
+
+// The three evaluation GPUs of Table I. The cost-model parameters are
+// calibrated so the relative effects the paper measures (Figures 4, 5, and
+// the Section VI attributions) hold; absolute times are simulator time, not
+// wall-clock.
+var (
+	// P100 models the NVIDIA Tesla P100 (Pascal).
+	P100 = &Arch{
+		Name: "P100", Family: "Pascal", CUDACores: 3584, CoreMHz: 1386,
+		MemSize: "16GB HBM", SMs: 56, WarpSize: 32,
+		MaxThreadsPerBlock: 1024, SharedMemPerBlock: 48 * 1024,
+		IndependentThreadSched: false,
+		IssueALU:               1.0, IssueDiv: 18.0, IssueFP: 2.0, IssueConv: 1.0,
+		ShflCost: 2.0, BallotCost: 2.0, ActiveMaskCost: 1.0,
+		BranchCost: 2.0, DivergePenalty: 4.0,
+		DivergedMemPenalty: 30.0, QuarterWarpSkew: 0.8,
+		SharedLatency: 6.0, SharedConflictCost: 4.0,
+		GlobalLatency: 52.0, GlobalTxCost: 9.0,
+		AtomicCost: 30.0, AtomicSerialCost: 12.0,
+		BarrierCost: 28.0,
+		MemBytes:    64 << 20,
+	}
+
+	// GTX1080Ti models the NVIDIA GeForce GTX 1080 Ti (Pascal, consumer).
+	GTX1080Ti = &Arch{
+		Name: "1080Ti", Family: "Pascal", CUDACores: 3584, CoreMHz: 1999,
+		MemSize: "11GB GDDR5X", SMs: 28, WarpSize: 32,
+		MaxThreadsPerBlock: 1024, SharedMemPerBlock: 48 * 1024,
+		IndependentThreadSched: false,
+		IssueALU:               1.0, IssueDiv: 22.0, IssueFP: 4.0, IssueConv: 1.0,
+		ShflCost: 2.0, BallotCost: 2.0, ActiveMaskCost: 1.0,
+		BranchCost: 2.0, DivergePenalty: 5.0,
+		DivergedMemPenalty: 34.0, QuarterWarpSkew: 1.0,
+		SharedLatency: 7.0, SharedConflictCost: 4.0,
+		GlobalLatency: 68.0, GlobalTxCost: 12.0,
+		AtomicCost: 36.0, AtomicSerialCost: 14.0,
+		BarrierCost: 30.0,
+		MemBytes:    44 << 20,
+	}
+
+	// V100 models the NVIDIA Tesla V100 (Volta): independent thread
+	// scheduling, lower-latency shared memory, more SMs.
+	V100 = &Arch{
+		Name: "V100", Family: "Volta", CUDACores: 5120, CoreMHz: 1530,
+		MemSize: "16GB HBM2", SMs: 80, WarpSize: 32,
+		MaxThreadsPerBlock: 1024, SharedMemPerBlock: 48 * 1024,
+		IndependentThreadSched: true,
+		IssueALU:               1.0, IssueDiv: 14.0, IssueFP: 1.5, IssueConv: 1.0,
+		ShflCost: 2.0, BallotCost: 14.0, ActiveMaskCost: 1.0,
+		BranchCost: 2.0, DivergePenalty: 3.0,
+		DivergedMemPenalty: 14.0, QuarterWarpSkew: 0.5,
+		SharedLatency: 4.0, SharedConflictCost: 3.0,
+		GlobalLatency: 40.0, GlobalTxCost: 7.0,
+		AtomicCost: 24.0, AtomicSerialCost: 10.0,
+		BarrierCost: 22.0,
+		MemBytes:    64 << 20,
+	}
+)
+
+// Architectures lists the evaluation GPUs in the order of Table I.
+var Architectures = []*Arch{P100, GTX1080Ti, V100}
+
+// ArchByName returns the named architecture, or nil.
+func ArchByName(name string) *Arch {
+	for _, a := range Architectures {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gevo/internal/ir"
+)
+
+// Kernel is a compiled, executable form of an ir.Function: operands resolved
+// to register slots, blocks indexed, phis lowered to edge copies, and
+// reconvergence points (immediate post-dominators) precomputed. Compilation
+// is the simulator's analog of the NVPTX codegen step in Figure 1.
+type Kernel struct {
+	Name        string
+	Params      []ir.Type
+	SharedBytes int
+	blocks      []cblock
+	nslots      int
+	src         *ir.Function
+}
+
+type argKind uint8
+
+const (
+	argConst argKind = iota
+	argReg
+	argParam
+	argSpecial
+)
+
+// carg is a resolved operand.
+type carg struct {
+	kind argKind
+	typ  ir.Type
+	cval uint64 // argConst
+	slot int32  // argReg: register slot
+	idx  int32  // argParam: parameter index; argSpecial: special code
+}
+
+// cinstr is a decoded instruction.
+type cinstr struct {
+	op    ir.Opcode
+	pred  ir.Pred
+	space ir.MemSpace
+	typ   ir.Type
+	dst   int32 // register slot, -1 if void
+	args  []carg
+	succs [2]int32 // block indices for terminators
+	uid   int32    // original UID for profiling/fault attribution
+	loc   int32
+}
+
+// phiCopy is one lowered phi move applied when an edge is traversed.
+type phiCopy struct {
+	dst int32
+	src carg
+	typ ir.Type
+}
+
+type cblock struct {
+	name string
+	ins  []cinstr
+	// phiFrom maps a predecessor block index to the parallel copies that
+	// realize this block's phis when entered from that predecessor.
+	phiFrom map[int32][]phiCopy
+	// ipdom is the reconvergence block index for branches out of this
+	// block; -1 means the virtual exit.
+	ipdom int32
+}
+
+// Compile lowers a verified function to executable form. It returns an error
+// for structural problems verification does not cover.
+func Compile(f *ir.Function) (*Kernel, error) {
+	k := &Kernel{
+		Name:        f.Name,
+		Params:      append([]ir.Type(nil), f.Params...),
+		SharedBytes: f.SharedBytes,
+		src:         f,
+	}
+	blockIdx := make(map[string]int32, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blockIdx[b.Name] = int32(i)
+	}
+
+	// Assign register slots to every value-producing instruction.
+	slots := make(map[int]int32)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Typ != ir.Void {
+				slots[in.UID] = int32(k.nslots)
+				k.nslots++
+			}
+		}
+	}
+
+	resolve := func(o ir.Operand) (carg, error) {
+		switch o.Kind {
+		case ir.OperConst:
+			return carg{kind: argConst, typ: o.Typ, cval: normValue(o.Typ, o.Const)}, nil
+		case ir.OperInstr:
+			s, ok := slots[o.Ref]
+			if !ok {
+				return carg{}, fmt.Errorf("gpu: compile %s: use of undefined value %%%d", f.Name, o.Ref)
+			}
+			return carg{kind: argReg, typ: o.Typ, slot: s}, nil
+		case ir.OperParam:
+			if o.Index < 0 || o.Index >= len(f.Params) {
+				return carg{}, fmt.Errorf("gpu: compile %s: parameter %d out of range", f.Name, o.Index)
+			}
+			return carg{kind: argParam, typ: o.Typ, idx: int32(o.Index)}, nil
+		case ir.OperSpecial:
+			return carg{kind: argSpecial, typ: o.Typ, idx: int32(o.Index)}, nil
+		default:
+			return carg{}, fmt.Errorf("gpu: compile %s: unknown operand kind %d", f.Name, o.Kind)
+		}
+	}
+
+	live := liveValues(f)
+
+	pdom := ir.ComputePostDom(f)
+	k.blocks = make([]cblock, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		cb := &k.blocks[bi]
+		cb.name = b.Name
+		cb.phiFrom = make(map[int32][]phiCopy)
+		if ip := pdom.IPdom(b.Name); ip != "" {
+			cb.ipdom = blockIdx[ip]
+		} else {
+			cb.ipdom = -1
+		}
+		for _, in := range b.Instrs {
+			if !live[in.UID] {
+				// Dead code elimination: the backend codegen step of the
+				// paper's pipeline (Fig 1, LLVM-IR -> PTX) removes pure
+				// computations whose results are unused. This is what makes
+				// a single branch-deletion edit also eliminate the dead
+				// boundary-comparison logic it guarded (Section VI-D).
+				continue
+			}
+			if in.Op == ir.OpPhi {
+				dst := slots[in.UID]
+				for _, inc := range in.Inc {
+					pi, ok := blockIdx[inc.Block]
+					if !ok {
+						continue // stale incoming after mutation; harmless
+					}
+					src, err := resolve(inc.Val)
+					if err != nil {
+						return nil, err
+					}
+					cb.phiFrom[pi] = append(cb.phiFrom[pi], phiCopy{dst: dst, src: src, typ: in.Typ})
+				}
+				continue
+			}
+			ci := cinstr{
+				op: in.Op, pred: in.Pred, space: in.Space, typ: in.Typ,
+				dst: -1, uid: int32(in.UID), loc: int32(in.Loc),
+			}
+			if in.Typ != ir.Void {
+				ci.dst = slots[in.UID]
+			}
+			for _, a := range in.Args {
+				ra, err := resolve(a)
+				if err != nil {
+					return nil, err
+				}
+				ci.args = append(ci.args, ra)
+			}
+			ci.succs = [2]int32{-1, -1}
+			for si, s := range in.Succs {
+				ti, ok := blockIdx[s]
+				if !ok {
+					return nil, fmt.Errorf("gpu: compile %s: branch to unknown block %q", f.Name, s)
+				}
+				if si < 2 {
+					ci.succs[si] = ti
+				}
+			}
+			cb.ins = append(cb.ins, ci)
+		}
+		if len(cb.ins) == 0 || !cb.ins[len(cb.ins)-1].op.IsTerminator() {
+			return nil, fmt.Errorf("gpu: compile %s: block %q lacks a terminator", f.Name, b.Name)
+		}
+	}
+	return k, nil
+}
+
+// NumSlots returns the number of virtual registers the kernel uses; the
+// occupancy-style metric for register pressure.
+func (k *Kernel) NumSlots() int { return k.nslots }
+
+// Source returns the ir.Function this kernel was compiled from.
+func (k *Kernel) Source() *ir.Function { return k.src }
+
+// liveValues computes the set of instructions the compiled kernel must
+// execute: side-effecting operations (stores, atomics, barriers,
+// terminators), all memory reads (kept conservatively: the mutation pipeline
+// treats memory as volatile), and the transitive operands of those. Pure
+// computations outside this set are dead and are skipped during compilation,
+// mirroring backend DCE in the paper's LLVM-IR -> PTX step.
+func liveValues(f *ir.Function) map[int]bool {
+	defs := make(map[int]*ir.Instr)
+	live := make(map[int]bool)
+	var work []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			defs[in.UID] = in
+			// Warp-level primitives carry synchronization semantics
+			// (Section VI-B), so backends never eliminate them even when
+			// their results are unused.
+			warpPrim := in.Op == ir.OpBallot || in.Op == ir.OpActiveMask || in.Op == ir.OpShfl
+			if in.Op.HasSideEffects() || in.Op.IsMemRead() || warpPrim {
+				live[in.UID] = true
+				work = append(work, in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, uid := range in.Uses() {
+			if !live[uid] {
+				live[uid] = true
+				if d := defs[uid]; d != nil {
+					work = append(work, d)
+				}
+			}
+		}
+	}
+	return live
+}
+
+// normValue normalizes raw bits to the canonical register representation of
+// a type: integers sign-extended to 64 bits, i1 reduced to one bit.
+func normValue(t ir.Type, v uint64) uint64 {
+	switch t {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return uint64(int64(int8(uint8(v))))
+	case ir.I32:
+		return uint64(int64(int32(uint32(v))))
+	default:
+		return v
+	}
+}

@@ -1,0 +1,733 @@
+package gpu
+
+import (
+	"math"
+	"math/bits"
+
+	"gevo/internal/ir"
+)
+
+// The execution engine: warps execute compiled kernels in lock-step over 32
+// lanes, with a SIMT reconvergence stack handling branch divergence. Both
+// sides of a divergent branch are executed serially under complementary
+// masks and both are charged cycles — the mechanism behind the paper's
+// Section VI-A finding that a divergent fast-path/slow-path split can lose
+// to a uniform slow path.
+
+const warpSize = 32
+
+const fullMask = uint32(0xFFFFFFFF)
+
+// simtEntry is one SIMT stack entry: a path of execution with an active lane
+// mask, reconverging when control reaches the reconv block.
+type simtEntry struct {
+	block  int32
+	pc     int32
+	reconv int32 // block index to pop at; -1 = virtual exit
+	mask   uint32
+	// sibling marks a path pushed together with a second serialized path
+	// (a diverged if/else). Loads on such paths expose their latency: the
+	// other path's lanes sit idle and cannot hide it. Paths from
+	// if-without-else divergence (the other lanes merely wait at the merge
+	// point) are not marked.
+	sibling bool
+}
+
+// warp is the execution state of one warp within a block.
+type warp struct {
+	id       int
+	tidBase  int32
+	regs     []uint64 // nslots * 32, lane-major within slot
+	stack    []simtEntry
+	cycles   float64
+	waiting  bool // parked at a barrier
+	done     bool
+	doneMask uint32
+	initMask uint32
+}
+
+// blockCtx is the execution context of one thread block.
+type blockCtx struct {
+	d        *Device
+	k        *Kernel
+	arch     *Arch
+	shared   []byte
+	args     []uint64
+	blockID  int32
+	gridDim  int32
+	blockDim int32
+	warps    []*warp
+	prof     *Profile
+	budget   *int64
+	// scratch buffers reused across instructions
+	addrs  [warpSize]int64
+	lanes  [warpSize]int
+	phiTmp []uint64
+}
+
+func (c *blockCtx) readArg(w *warp, a *carg, lane int) uint64 {
+	switch a.kind {
+	case argConst:
+		return a.cval
+	case argReg:
+		return w.regs[int(a.slot)*warpSize+lane]
+	case argParam:
+		return c.args[a.idx]
+	default: // argSpecial
+		switch ir.Special(a.idx) {
+		case ir.SpecialTID:
+			return uint64(int64(w.tidBase) + int64(lane))
+		case ir.SpecialBID:
+			return uint64(int64(c.blockID))
+		case ir.SpecialBDim:
+			return uint64(int64(c.blockDim))
+		case ir.SpecialGDim:
+			return uint64(int64(c.gridDim))
+		case ir.SpecialLane:
+			return uint64(int64(lane))
+		case ir.SpecialWarp:
+			return uint64(int64(w.id))
+		default:
+			return 0
+		}
+	}
+}
+
+// account charges cycles to the warp and, when profiling, to the
+// instruction. Every instruction additionally pays the quarter-warp issue
+// skew when its lowest active lane is in a later issue group (see
+// Arch.QuarterWarpSkew).
+func (c *blockCtx) account(w *warp, in *cinstr, cost float64, mask uint32) {
+	if mask != 0 {
+		cost += c.arch.QuarterWarpSkew * float64(bits.TrailingZeros32(mask)/8)
+	}
+	w.cycles += cost
+	if c.prof != nil {
+		c.prof.record(in.uid, cost, int64(bits.OnesCount32(mask)))
+	}
+}
+
+// memPenalty is the extra exposed latency of a load issued on one side of an
+// if/else divergence (see Arch.DivergedMemPenalty). Stores and atomics
+// retire through the store queue and do not stall the sibling path, so only
+// loads pay it; masked-off lanes of an if-without-else have no serialized
+// sibling and pay nothing.
+func (c *blockCtx) memPenalty(w *warp) float64 {
+	if len(w.stack) > 1 && w.stack[len(w.stack)-1].sibling {
+		return c.arch.DivergedMemPenalty
+	}
+	return 0
+}
+
+// applyPhis performs the parallel phi copies for the edge from→to under the
+// given mask.
+func (c *blockCtx) applyPhis(w *warp, from, to int32, mask uint32) {
+	copies := c.k.blocks[to].phiFrom[from]
+	if len(copies) == 0 {
+		return
+	}
+	// Parallel-copy semantics: snapshot all sources before writing any
+	// destination (a phi may read another phi's pre-transfer value).
+	need := len(copies) * warpSize
+	if cap(c.phiTmp) < need {
+		c.phiTmp = make([]uint64, need)
+	}
+	tmp := c.phiTmp[:need]
+	for i := range copies {
+		src := &copies[i].src
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				tmp[i*warpSize+lane] = c.readArg(w, src, lane)
+			}
+		}
+	}
+	for i := range copies {
+		dst := int(copies[i].dst) * warpSize
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				w.regs[dst+lane] = tmp[i*warpSize+lane]
+			}
+		}
+	}
+	w.cycles += c.arch.IssueALU * float64(len(copies))
+}
+
+// transfer moves the top stack entry to the target block, popping it when
+// the target is its reconvergence point.
+func (c *blockCtx) transfer(w *warp, target int32) {
+	ei := len(w.stack) - 1
+	e := &w.stack[ei]
+	c.applyPhis(w, e.block, target, e.mask)
+	if target == e.reconv {
+		w.stack = w.stack[:ei]
+		return
+	}
+	e.block = target
+	e.pc = 0
+}
+
+// diverge splits the top entry into then/else paths reconverging at r (the
+// immediate post-dominator of the branching block).
+func (c *blockCtx) diverge(w *warp, in *cinstr, maskT, maskF uint32, r int32) {
+	ei := len(w.stack) - 1
+	cur := w.stack[ei]
+	if r == cur.reconv || r == -1 {
+		// The paths reconverge at (or beyond) the enclosing region's merge
+		// point: no separate continuation entry is needed.
+		w.stack = w.stack[:ei]
+	} else {
+		w.stack[ei].block = r
+		w.stack[ei].pc = 0
+	}
+	// Push the else path first so the then path executes first. Paths are
+	// siblings (serialized against each other) only when both sides have
+	// real work before the merge point.
+	both := in.succs[0] != r && in.succs[1] != r
+	if maskF != 0 {
+		c.applyPhis(w, cur.block, in.succs[1], maskF)
+		if in.succs[1] != r {
+			w.stack = append(w.stack, simtEntry{block: in.succs[1], pc: 0, reconv: r, mask: maskF, sibling: both})
+		}
+	}
+	if maskT != 0 {
+		c.applyPhis(w, cur.block, in.succs[0], maskT)
+		if in.succs[0] != r {
+			w.stack = append(w.stack, simtEntry{block: in.succs[0], pc: 0, reconv: r, mask: maskT, sibling: both})
+		}
+	}
+}
+
+const maxStackDepth = 4096
+
+// runWarp executes the warp until it parks at a barrier, retires, or errs.
+func (c *blockCtx) runWarp(w *warp) error {
+	arch := c.arch
+	for {
+		if len(w.stack) == 0 {
+			w.done = true
+			return nil
+		}
+		if len(w.stack) > maxStackDepth {
+			return &ExecError{Kernel: c.k.Name, Msg: "SIMT stack overflow (malformed control flow)"}
+		}
+		ei := len(w.stack) - 1
+		e := &w.stack[ei]
+		e.mask &^= w.doneMask
+		if e.mask == 0 {
+			w.stack = w.stack[:ei]
+			continue
+		}
+		blk := &c.k.blocks[e.block]
+		if int(e.pc) >= len(blk.ins) {
+			return &ExecError{Kernel: c.k.Name, Msg: "fell off block " + blk.name}
+		}
+		in := &blk.ins[e.pc]
+		*c.budget--
+		if *c.budget <= 0 {
+			return &TimeoutError{Kernel: c.k.Name}
+		}
+
+		switch in.op {
+		case ir.OpBarrier:
+			e.pc++
+			w.waiting = true
+			return nil
+		case ir.OpRet:
+			c.account(w, in, arch.BranchCost, e.mask)
+			w.doneMask |= e.mask
+			w.stack = w.stack[:ei]
+		case ir.OpBr:
+			c.account(w, in, arch.BranchCost, e.mask)
+			c.transfer(w, in.succs[0])
+		case ir.OpCondBr:
+			cond := &in.args[0]
+			var maskT uint32
+			for lane := 0; lane < warpSize; lane++ {
+				if e.mask&(1<<lane) != 0 && c.readArg(w, cond, lane)&1 != 0 {
+					maskT |= 1 << lane
+				}
+			}
+			maskF := e.mask &^ maskT
+			switch {
+			case maskF == 0:
+				c.account(w, in, arch.BranchCost, e.mask)
+				c.transfer(w, in.succs[0])
+			case maskT == 0:
+				c.account(w, in, arch.BranchCost, e.mask)
+				c.transfer(w, in.succs[1])
+			default:
+				c.account(w, in, arch.BranchCost+arch.DivergePenalty, e.mask)
+				c.diverge(w, in, maskT, maskF, blk.ipdom)
+			}
+		default:
+			if err := c.execInstr(w, e, in); err != nil {
+				return err
+			}
+			// e may be stale if execInstr grew the stack; it cannot, but
+			// reload defensively via index.
+			w.stack[ei].pc++
+		}
+	}
+}
+
+// execInstr executes one non-control instruction under the entry's mask.
+func (c *blockCtx) execInstr(w *warp, e *simtEntry, in *cinstr) error {
+	arch := c.arch
+	mask := e.mask
+	dst := int(in.dst) * warpSize
+
+	switch {
+	case in.op.IsIntArith():
+		a, b := &in.args[0], &in.args[1]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			x := int64(c.readArg(w, a, lane))
+			y := int64(c.readArg(w, b, lane))
+			var r int64
+			switch in.op {
+			case ir.OpAdd:
+				r = x + y
+			case ir.OpSub:
+				r = x - y
+			case ir.OpMul:
+				r = x * y
+			case ir.OpSDiv:
+				if y != 0 {
+					r = x / y
+				}
+			case ir.OpSRem:
+				if y != 0 {
+					r = x % y
+				}
+			case ir.OpAnd:
+				r = x & y
+			case ir.OpOr:
+				r = x | y
+			case ir.OpXor:
+				r = x ^ y
+			case ir.OpShl:
+				r = x << (uint64(y) & 63)
+			case ir.OpLShr:
+				r = int64(zextBits(in.typ, uint64(x)) >> (uint64(y) & 63))
+			case ir.OpAShr:
+				r = x >> (uint64(y) & 63)
+			case ir.OpSMin:
+				r = min(x, y)
+			case ir.OpSMax:
+				r = max(x, y)
+			}
+			w.regs[dst+lane] = normValue(in.typ, uint64(r))
+		}
+		if in.op == ir.OpSDiv || in.op == ir.OpSRem {
+			c.account(w, in, arch.IssueDiv, mask)
+		} else {
+			c.account(w, in, arch.IssueALU, mask)
+		}
+
+	case in.op.IsFloatArith():
+		a, b := &in.args[0], &in.args[1]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			x := math.Float64frombits(c.readArg(w, a, lane))
+			y := math.Float64frombits(c.readArg(w, b, lane))
+			var r float64
+			switch in.op {
+			case ir.OpFAdd:
+				r = x + y
+			case ir.OpFSub:
+				r = x - y
+			case ir.OpFMul:
+				r = x * y
+			case ir.OpFDiv:
+				r = x / y
+			case ir.OpFMin:
+				r = math.Min(x, y)
+			case ir.OpFMax:
+				r = math.Max(x, y)
+			}
+			w.regs[dst+lane] = math.Float64bits(r)
+		}
+		c.account(w, in, arch.IssueFP, mask)
+
+	case in.op == ir.OpICmp:
+		a, b := &in.args[0], &in.args[1]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			x := int64(c.readArg(w, a, lane))
+			y := int64(c.readArg(w, b, lane))
+			w.regs[dst+lane] = boolBit(cmpInt(in.pred, x, y))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpFCmp:
+		a, b := &in.args[0], &in.args[1]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			x := math.Float64frombits(c.readArg(w, a, lane))
+			y := math.Float64frombits(c.readArg(w, b, lane))
+			w.regs[dst+lane] = boolBit(cmpFloat(in.pred, x, y))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpSelect:
+		cnd, tv, fv := &in.args[0], &in.args[1], &in.args[2]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			if c.readArg(w, cnd, lane)&1 != 0 {
+				w.regs[dst+lane] = c.readArg(w, tv, lane)
+			} else {
+				w.regs[dst+lane] = c.readArg(w, fv, lane)
+			}
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpZext:
+		a := &in.args[0]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			w.regs[dst+lane] = normValue(in.typ, zextBits(a.typ, c.readArg(w, a, lane)))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpSext || in.op == ir.OpTrunc:
+		a := &in.args[0]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			w.regs[dst+lane] = normValue(in.typ, c.readArg(w, a, lane))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpSIToFP:
+		a := &in.args[0]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			w.regs[dst+lane] = math.Float64bits(float64(int64(c.readArg(w, a, lane))))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpFPToSI:
+		a := &in.args[0]
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			f := math.Float64frombits(c.readArg(w, a, lane))
+			var v int64
+			if !math.IsNaN(f) {
+				v = int64(f)
+			}
+			w.regs[dst+lane] = normValue(in.typ, uint64(v))
+		}
+		c.account(w, in, arch.IssueConv, mask)
+
+	case in.op == ir.OpLoad:
+		return c.execLoad(w, e, in)
+
+	case in.op == ir.OpStore:
+		return c.execStore(w, e, in)
+
+	case in.op == ir.OpAtomicAdd || in.op == ir.OpAtomicMax ||
+		in.op == ir.OpAtomicCAS || in.op == ir.OpAtomicExch:
+		return c.execAtomic(w, e, in)
+
+	case in.op == ir.OpShfl:
+		val, ln := &in.args[0], &in.args[1]
+		var tmp [warpSize]uint64
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			src := int(int64(c.readArg(w, ln, lane))) & (warpSize - 1)
+			tmp[lane] = c.readArg(w, val, src)
+		}
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				w.regs[dst+lane] = tmp[lane]
+			}
+		}
+		c.account(w, in, arch.ShflCost, mask)
+
+	case in.op == ir.OpBallot:
+		p := &in.args[0]
+		var res uint32
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 && c.readArg(w, p, lane)&1 != 0 {
+				res |= 1 << lane
+			}
+		}
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				w.regs[dst+lane] = uint64(int64(int32(res)))
+			}
+		}
+		// On Volta, ballot_sync forces the subdivided warp to reconverge;
+		// on Pascal warps execute in strict lock-step and the query is
+		// nearly free (Section VI-B).
+		c.account(w, in, arch.BallotCost, mask)
+
+	case in.op == ir.OpActiveMask:
+		for lane := 0; lane < warpSize; lane++ {
+			if mask&(1<<lane) != 0 {
+				w.regs[dst+lane] = uint64(int64(int32(mask)))
+			}
+		}
+		c.account(w, in, arch.ActiveMaskCost, mask)
+
+	case in.op == ir.OpNop:
+		c.account(w, in, arch.IssueALU, mask)
+
+	default:
+		return &ExecError{Kernel: c.k.Name, Msg: "unexpected opcode " + in.op.String()}
+	}
+	return nil
+}
+
+func (c *blockCtx) execLoad(w *warp, e *simtEntry, in *cinstr) error {
+	mask := e.mask
+	dst := int(in.dst) * warpSize
+	addrArg := &in.args[0]
+	n := c.gatherAddrs(w, addrArg, mask)
+	if in.space == ir.SpaceShared {
+		size := int64(in.typ.Size())
+		for i := 0; i < n; i++ {
+			a := c.addrs[i]
+			if a < 0 || a+size > int64(len(c.shared)) {
+				return &FaultError{Kernel: c.k.Name, Addr: a, Op: "shared load", UID: int(in.uid)}
+			}
+			w.regs[dst+c.lanes[i]] = loadMem(c.shared, in.typ, a)
+		}
+		c.account(w, in, c.sharedCost(n)+c.memPenalty(w), mask)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.d.load(in.typ, c.addrs[i])
+		if !ok {
+			return &FaultError{Kernel: c.k.Name, Addr: c.addrs[i], Op: "global load", UID: int(in.uid)}
+		}
+		w.regs[dst+c.lanes[i]] = v
+	}
+	c.account(w, in, c.globalCost(n)+c.memPenalty(w), mask)
+	return nil
+}
+
+func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
+	mask := e.mask
+	valArg, addrArg := &in.args[0], &in.args[1]
+	n := c.gatherAddrs(w, addrArg, mask)
+	t := valArg.typ
+	if in.space == ir.SpaceShared {
+		size := int64(t.Size())
+		for i := 0; i < n; i++ {
+			a := c.addrs[i]
+			if a < 0 || a+size > int64(len(c.shared)) {
+				return &FaultError{Kernel: c.k.Name, Addr: a, Op: "shared store", UID: int(in.uid)}
+			}
+			storeMem(c.shared, t, a, c.readArg(w, valArg, c.lanes[i]))
+		}
+		c.account(w, in, c.sharedCost(n), mask)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if !c.d.store(t, c.addrs[i], c.readArg(w, valArg, c.lanes[i])) {
+			return &FaultError{Kernel: c.k.Name, Addr: c.addrs[i], Op: "global store", UID: int(in.uid)}
+		}
+	}
+	c.account(w, in, c.globalCost(n), mask)
+	return nil
+}
+
+func (c *blockCtx) execAtomic(w *warp, e *simtEntry, in *cinstr) error {
+	mask := e.mask
+	addrArg := &in.args[0]
+	n := c.gatherAddrs(w, addrArg, mask)
+	dst := int(in.dst) * warpSize
+	t := in.typ
+	size := int64(t.Size())
+
+	var mem []byte
+	if in.space == ir.SpaceShared {
+		mem = c.shared
+	} else {
+		mem = c.d.mem
+	}
+	// Lanes commit in ascending lane order: a deterministic stand-in for the
+	// hardware's unspecified intra-warp atomic ordering (the SIMCoV race of
+	// Section II-C resolves by this order).
+	for i := 0; i < n; i++ {
+		a := c.addrs[i]
+		if a < 0 || a+size > int64(len(mem)) {
+			return &FaultError{Kernel: c.k.Name, Addr: a, Op: "atomic " + in.space.String(), UID: int(in.uid)}
+		}
+		lane := c.lanes[i]
+		old := loadMem(mem, t, a)
+		var newVal uint64
+		switch in.op {
+		case ir.OpAtomicAdd:
+			newVal = normValue(t, uint64(int64(old)+int64(c.readArg(w, &in.args[1], lane))))
+		case ir.OpAtomicMax:
+			newVal = normValue(t, uint64(max(int64(old), int64(c.readArg(w, &in.args[1], lane)))))
+		case ir.OpAtomicExch:
+			newVal = normValue(t, c.readArg(w, &in.args[1], lane))
+		case ir.OpAtomicCAS:
+			expected := c.readArg(w, &in.args[1], lane)
+			if old == expected {
+				newVal = normValue(t, c.readArg(w, &in.args[2], lane))
+			} else {
+				newVal = old
+			}
+		}
+		storeMem(mem, t, a, newVal)
+		w.regs[dst+lane] = old
+	}
+	cost := c.arch.AtomicCost + float64(maxContention(c.addrs[:n])-1)*c.arch.AtomicSerialCost
+	c.account(w, in, cost, mask)
+	return nil
+}
+
+// gatherAddrs collects the addresses of active lanes into c.addrs/c.lanes
+// and returns the count.
+func (c *blockCtx) gatherAddrs(w *warp, addrArg *carg, mask uint32) int {
+	n := 0
+	for lane := 0; lane < warpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		c.addrs[n] = int64(c.readArg(w, addrArg, lane))
+		c.lanes[n] = lane
+		n++
+	}
+	return n
+}
+
+// sharedCost models shared-memory bank conflicts: 32 banks of 4-byte words;
+// lanes hitting distinct words in the same bank serialize into replays.
+// Lanes hitting the same word broadcast (no replay).
+func (c *blockCtx) sharedCost(n int) float64 {
+	maxReplay := 1
+	for i := 0; i < n; i++ {
+		word := c.addrs[i] >> 2
+		bank := word & 31
+		replays := 1
+		for j := 0; j < i; j++ {
+			wj := c.addrs[j] >> 2
+			if wj&31 == bank && wj != word {
+				replays++
+			}
+		}
+		if replays > maxReplay {
+			maxReplay = replays
+		}
+	}
+	return c.arch.SharedLatency + float64(maxReplay-1)*c.arch.SharedConflictCost
+}
+
+// globalCost models coalescing: the warp pays for the number of distinct
+// 128-byte segments its active lanes touch.
+func (c *blockCtx) globalCost(n int) float64 {
+	segs := 0
+	for i := 0; i < n; i++ {
+		si := c.addrs[i] >> 7
+		dup := false
+		for j := 0; j < i; j++ {
+			if c.addrs[j]>>7 == si {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			segs++
+		}
+	}
+	if segs == 0 {
+		segs = 1
+	}
+	return c.arch.GlobalLatency + float64(segs-1)*c.arch.GlobalTxCost
+}
+
+// maxContention returns the largest number of lanes targeting one address.
+func maxContention(addrs []int64) int {
+	best := 1
+	for i := range addrs {
+		n := 1
+		for j := 0; j < i; j++ {
+			if addrs[j] == addrs[i] {
+				n++
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cmpInt(p ir.Pred, x, y int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredLT:
+		return x < y
+	case ir.PredLE:
+		return x <= y
+	case ir.PredGT:
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+func cmpFloat(p ir.Pred, x, y float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return x == y
+	case ir.PredNE:
+		return x != y
+	case ir.PredLT:
+		return x < y
+	case ir.PredLE:
+		return x <= y
+	case ir.PredGT:
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+// zextBits returns the value's bits zero-extended from its type width.
+func zextBits(t ir.Type, v uint64) uint64 {
+	switch t {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return v & 0xFF
+	case ir.I32:
+		return v & 0xFFFFFFFF
+	default:
+		return v
+	}
+}

@@ -1,0 +1,261 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"gevo/internal/ir"
+)
+
+// LaunchConfig describes one kernel launch: the grid geometry (1-D, as in
+// both of the paper's applications), raw parameter values, and execution
+// limits.
+type LaunchConfig struct {
+	// Grid is the number of thread blocks.
+	Grid int
+	// Block is the number of threads per block.
+	Block int
+	// Args holds one raw 64-bit value per kernel parameter (integers
+	// sign-extended, floats as IEEE-754 bits). See PackArgs.
+	Args []uint64
+	// MaxDynInstr bounds the total dynamic warp-instruction count; mutants
+	// with infinite loops hit this and fail. 0 means the default budget.
+	MaxDynInstr int64
+	// Profile, when non-nil, accumulates per-instruction cycle and
+	// execution counts (the nvprof analog used by the edit analysis).
+	Profile *Profile
+}
+
+// DefaultDynInstrBudget is the per-launch dynamic instruction budget when
+// LaunchConfig.MaxDynInstr is zero.
+const DefaultDynInstrBudget int64 = 64 << 20
+
+// Result reports one simulated kernel execution.
+type Result struct {
+	// Cycles is the simulated grid execution time in core clock cycles.
+	Cycles float64
+	// TimeMS is Cycles converted at the architecture's core clock.
+	TimeMS float64
+	// DynInstrs is the dynamic warp-instruction count executed.
+	DynInstrs int64
+	// Blocks is the number of thread blocks executed.
+	Blocks int
+}
+
+// ArgI packs an integer kernel argument.
+func ArgI(v int64) uint64 { return uint64(v) }
+
+// ArgF packs a float kernel argument.
+func ArgF(v float64) uint64 { return math.Float64bits(v) }
+
+// Launch executes the kernel on the device and returns simulated timing.
+// Functional effects (global-memory writes) persist on the device. An error
+// is returned for faults, timeouts and malformed programs; callers treat any
+// error as a failed variant.
+func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
+	if cfg.Grid <= 0 || cfg.Block <= 0 {
+		return nil, fmt.Errorf("gpu: launch %s: bad geometry %dx%d", k.Name, cfg.Grid, cfg.Block)
+	}
+	if cfg.Block > d.Arch.MaxThreadsPerBlock {
+		return nil, fmt.Errorf("gpu: launch %s: block size %d exceeds max %d", k.Name, cfg.Block, d.Arch.MaxThreadsPerBlock)
+	}
+	if k.SharedBytes > d.Arch.SharedMemPerBlock {
+		return nil, fmt.Errorf("gpu: launch %s: shared %dB exceeds per-block max %dB", k.Name, k.SharedBytes, d.Arch.SharedMemPerBlock)
+	}
+	if len(cfg.Args) != len(k.Params) {
+		return nil, fmt.Errorf("gpu: launch %s: %d args for %d params", k.Name, len(cfg.Args), len(k.Params))
+	}
+	budget := cfg.MaxDynInstr
+	if budget <= 0 {
+		budget = DefaultDynInstrBudget
+	}
+	remaining := budget
+
+	nwarps := (cfg.Block + warpSize - 1) / warpSize
+	ctx := &blockCtx{
+		d: d, k: k, arch: d.Arch,
+		shared:   make([]byte, k.SharedBytes),
+		args:     cfg.Args,
+		gridDim:  int32(cfg.Grid),
+		blockDim: int32(cfg.Block),
+		prof:     cfg.Profile,
+		budget:   &remaining,
+	}
+	regs := make([]uint64, k.nslots*warpSize*nwarps)
+	warps := make([]*warp, nwarps)
+	for wi := 0; wi < nwarps; wi++ {
+		warps[wi] = &warp{id: wi, regs: regs[wi*k.nslots*warpSize : (wi+1)*k.nslots*warpSize]}
+	}
+	ctx.warps = warps
+
+	blockCycles := make([]float64, cfg.Grid)
+	for b := 0; b < cfg.Grid; b++ {
+		cyc, err := ctx.runBlock(int32(b))
+		if err != nil {
+			if te, ok := err.(*TimeoutError); ok {
+				te.Budget = budget
+			}
+			return nil, err
+		}
+		blockCycles[b] = cyc
+	}
+
+	cycles := scheduleBlocks(blockCycles, d.Arch.SMs)
+	res := &Result{
+		Cycles:    cycles,
+		TimeMS:    d.Arch.TimeMS(cycles),
+		DynInstrs: budget - remaining,
+		Blocks:    cfg.Grid,
+	}
+	if cfg.Profile != nil {
+		cfg.Profile.TotalCycles += cycles
+		cfg.Profile.Launches++
+	}
+	return res, nil
+}
+
+// runBlock executes one thread block to completion and returns its cycle
+// count (the max across its warps, with barrier phases aligned).
+func (c *blockCtx) runBlock(blockID int32) (float64, error) {
+	c.blockID = blockID
+	clear(c.shared)
+	nThreads := int(c.blockDim)
+	for wi, w := range c.warps {
+		w.tidBase = int32(wi * warpSize)
+		w.cycles = 0
+		w.waiting = false
+		w.done = false
+		w.doneMask = 0
+		lanes := nThreads - wi*warpSize
+		if lanes >= warpSize {
+			w.initMask = fullMask
+		} else {
+			w.initMask = (uint32(1) << lanes) - 1
+		}
+		w.stack = w.stack[:0]
+		w.stack = append(w.stack, simtEntry{block: 0, pc: 0, reconv: -1, mask: w.initMask})
+		clear(w.regs)
+	}
+
+	for {
+		ran := false
+		for _, w := range c.warps {
+			if w.done || w.waiting {
+				continue
+			}
+			ran = true
+			if err := c.runWarp(w); err != nil {
+				return 0, err
+			}
+		}
+		allDone := true
+		var maxWaiting float64
+		anyWaiting := false
+		for _, w := range c.warps {
+			if !w.done {
+				allDone = false
+			}
+			if w.waiting {
+				anyWaiting = true
+				if w.cycles > maxWaiting {
+					maxWaiting = w.cycles
+				}
+			}
+		}
+		if allDone {
+			break
+		}
+		if anyWaiting {
+			// Barrier release: all parked warps align to the slowest and
+			// pay the barrier cost (Section VI-C's bottleneck mechanism).
+			for _, w := range c.warps {
+				if w.waiting {
+					w.cycles = maxWaiting + c.arch.BarrierCost
+					w.waiting = false
+				}
+			}
+			if c.prof != nil {
+				c.prof.BarrierCycles += c.arch.BarrierCost
+			}
+			continue
+		}
+		if !ran {
+			return 0, &ExecError{Kernel: c.k.Name, Msg: "no runnable warp (scheduler wedged)"}
+		}
+	}
+
+	var blockTime float64
+	for _, w := range c.warps {
+		if w.cycles > blockTime {
+			blockTime = w.cycles
+		}
+	}
+	return blockTime, nil
+}
+
+// scheduleBlocks assigns block execution times to SM slots greedily
+// (earliest-finish-first) and returns the makespan. This is the grid-level
+// throughput model: SMs run blocks back to back, concurrency across SMs
+// only; within-SM overlap is folded into the per-instruction costs.
+func scheduleBlocks(blockCycles []float64, sms int) float64 {
+	if len(blockCycles) == 0 {
+		return 0
+	}
+	if sms < 1 {
+		sms = 1
+	}
+	smTime := make([]float64, sms)
+	for _, bc := range blockCycles {
+		mi := 0
+		for i := 1; i < sms; i++ {
+			if smTime[i] < smTime[mi] {
+				mi = i
+			}
+		}
+		smTime[mi] += bc
+	}
+	var makespan float64
+	for _, t := range smTime {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return makespan
+}
+
+// PackArgs builds a LaunchConfig argument vector from typed Go values.
+// Accepted kinds: int/int32/int64 (sign-extended), float64, and uint64 (raw
+// bits, e.g. device addresses from Alloc).
+func PackArgs(vals ...any) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = uint64(int64(x))
+		case int32:
+			out[i] = uint64(int64(x))
+		case int64:
+			out[i] = uint64(x)
+		case uint64:
+			out[i] = x
+		case float64:
+			out[i] = math.Float64bits(x)
+		default:
+			panic(fmt.Sprintf("gpu: PackArgs: unsupported argument type %T", v))
+		}
+	}
+	return out
+}
+
+// CompileAll compiles every kernel in a module, returning them by name.
+func CompileAll(m *ir.Module) (map[string]*Kernel, error) {
+	out := make(map[string]*Kernel, len(m.Funcs))
+	for _, f := range m.Funcs {
+		k, err := Compile(f)
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = k
+	}
+	return out, nil
+}

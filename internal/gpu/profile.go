@@ -1,0 +1,100 @@
+package gpu
+
+import "sort"
+
+// Profile accumulates per-instruction execution statistics across launches:
+// the simulator's analog of nvprof plus the paper's debug-info
+// instrumentation. The edit analysis (Section V) uses profiles to apply its
+// 1% significance threshold, and the Section VI-D instruction-mix argument
+// ("31% of kernel instructions were performing boundary logic") is computed
+// from the same counters.
+type Profile struct {
+	cycles []float64
+	count  []int64
+	lanes  []int64
+	// TotalCycles sums grid cycles across profiled launches.
+	TotalCycles float64
+	// BarrierCycles sums barrier-release costs (not attributed to a UID).
+	BarrierCycles float64
+	// Launches counts profiled kernel launches.
+	Launches int
+}
+
+// NewProfile creates a profile sized for the kernel's UID space.
+func NewProfile(k *Kernel) *Profile {
+	n := k.src.NextUID
+	return &Profile{
+		cycles: make([]float64, n),
+		count:  make([]int64, n),
+		lanes:  make([]int64, n),
+	}
+}
+
+func (p *Profile) record(uid int32, cost float64, lanes int64) {
+	if int(uid) < len(p.cycles) {
+		p.cycles[uid] += cost
+		p.count[uid]++
+		p.lanes[uid] += lanes
+	}
+}
+
+// Cycles returns the cycles attributed to the instruction with the UID.
+func (p *Profile) Cycles(uid int) float64 {
+	if uid < 0 || uid >= len(p.cycles) {
+		return 0
+	}
+	return p.cycles[uid]
+}
+
+// Count returns how many times the instruction issued (per warp).
+func (p *Profile) Count(uid int) int64 {
+	if uid < 0 || uid >= len(p.count) {
+		return 0
+	}
+	return p.count[uid]
+}
+
+// Lanes returns the total active-lane executions of the instruction.
+func (p *Profile) Lanes(uid int) int64 {
+	if uid < 0 || uid >= len(p.lanes) {
+		return 0
+	}
+	return p.lanes[uid]
+}
+
+// SumCycles returns total attributed cycles across all instructions.
+func (p *Profile) SumCycles() float64 {
+	var s float64
+	for _, c := range p.cycles {
+		s += c
+	}
+	return s
+}
+
+// HotSpot is one entry of a profile ranking.
+type HotSpot struct {
+	UID    int
+	Cycles float64
+	Count  int64
+	Frac   float64 // fraction of total attributed cycles
+}
+
+// Top returns the n hottest instructions by attributed cycles.
+func (p *Profile) Top(n int) []HotSpot {
+	total := p.SumCycles()
+	var hs []HotSpot
+	for uid, c := range p.cycles {
+		if c > 0 {
+			frac := 0.0
+			if total > 0 {
+				frac = c / total
+			}
+			hs = append(hs, HotSpot{UID: uid, Cycles: c, Count: p.count[uid], Frac: frac})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Cycles > hs[j].Cycles })
+	if n > 0 && len(hs) > n {
+		hs = hs[:n]
+	}
+	return hs
+}

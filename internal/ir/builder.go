@@ -1,0 +1,230 @@
+package ir
+
+import "fmt"
+
+// Builder constructs functions instruction by instruction. It is the analog
+// of the Clang CUDA frontend in the paper's Figure 1 pipeline: the kernels in
+// internal/kernels are written against this API, annotated with pseudo-source
+// line numbers via At so that discovered edits can be traced back to source
+// (the paper's Section VI methodology).
+type Builder struct {
+	f   *Function
+	cur *Block
+	loc int
+}
+
+// NewBuilder starts building a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{f: &Function{Name: name}}
+}
+
+// Param declares the next kernel parameter and returns an operand for it.
+func (b *Builder) Param(name string, t Type) Operand {
+	b.f.Params = append(b.f.Params, t)
+	b.f.ParamNames = append(b.f.ParamNames, name)
+	return Param(len(b.f.Params)-1, t)
+}
+
+// SharedArray declares a named shared-memory array of count elements of
+// elemSize bytes, returning its declaration. Arrays are laid out in
+// declaration order with 8-byte alignment.
+func (b *Builder) SharedArray(name string, count, elemSize int) SharedDecl {
+	off := (b.f.SharedBytes + 7) &^ 7
+	d := SharedDecl{Name: name, Offset: off, Bytes: count * elemSize}
+	b.f.Shared = append(b.f.Shared, d)
+	b.f.SharedBytes = off + d.Bytes
+	return d
+}
+
+// Block creates (or re-enters) the named block and makes it current. The
+// first block created is the entry block.
+func (b *Builder) Block(name string) {
+	if blk := b.f.BlockByName(name); blk != nil {
+		b.cur = blk
+		return
+	}
+	blk := &Block{Name: name}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	b.cur = blk
+}
+
+// At sets the pseudo-source line attached to subsequently emitted
+// instructions.
+func (b *Builder) At(line int) { b.loc = line }
+
+// Finish returns the completed function.
+func (b *Builder) Finish() *Function { return b.f }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.cur == nil {
+		panic(fmt.Sprintf("ir: emit %s with no current block in %s", in.Op, b.f.Name))
+	}
+	in.UID = b.f.NewUID()
+	in.Loc = b.loc
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+func (b *Builder) emitVal(op Opcode, t Type, args ...Operand) Operand {
+	return b.emit(&Instr{Op: op, Typ: t, Args: args}).Result()
+}
+
+// Convenience constant helpers.
+
+// I32 returns an i32 constant operand.
+func (b *Builder) I32(v int64) Operand { return ConstInt(I32, v) }
+
+// I64 returns an i64 constant operand.
+func (b *Builder) I64(v int64) Operand { return ConstInt(I64, v) }
+
+// I8 returns an i8 constant operand.
+func (b *Builder) I8(v int64) Operand { return ConstInt(I8, v) }
+
+// F64 returns an f64 constant operand.
+func (b *Builder) F64(v float64) Operand { return ConstFloat(v) }
+
+// Bool returns an i1 constant operand.
+func (b *Builder) Bool(v bool) Operand { return ConstBool(v) }
+
+// Special reads a hardware special register (threadIdx, blockIdx, ...).
+func (b *Builder) Special(s Special) Operand { return SpecialReg(s) }
+
+// Integer arithmetic. Result type follows the first operand.
+
+func (b *Builder) Add(x, y Operand) Operand  { return b.emitVal(OpAdd, x.Typ, x, y) }
+func (b *Builder) Sub(x, y Operand) Operand  { return b.emitVal(OpSub, x.Typ, x, y) }
+func (b *Builder) Mul(x, y Operand) Operand  { return b.emitVal(OpMul, x.Typ, x, y) }
+func (b *Builder) SDiv(x, y Operand) Operand { return b.emitVal(OpSDiv, x.Typ, x, y) }
+func (b *Builder) SRem(x, y Operand) Operand { return b.emitVal(OpSRem, x.Typ, x, y) }
+func (b *Builder) And(x, y Operand) Operand  { return b.emitVal(OpAnd, x.Typ, x, y) }
+func (b *Builder) Or(x, y Operand) Operand   { return b.emitVal(OpOr, x.Typ, x, y) }
+func (b *Builder) Xor(x, y Operand) Operand  { return b.emitVal(OpXor, x.Typ, x, y) }
+func (b *Builder) Shl(x, y Operand) Operand  { return b.emitVal(OpShl, x.Typ, x, y) }
+func (b *Builder) LShr(x, y Operand) Operand { return b.emitVal(OpLShr, x.Typ, x, y) }
+func (b *Builder) AShr(x, y Operand) Operand { return b.emitVal(OpAShr, x.Typ, x, y) }
+func (b *Builder) SMin(x, y Operand) Operand { return b.emitVal(OpSMin, x.Typ, x, y) }
+func (b *Builder) SMax(x, y Operand) Operand { return b.emitVal(OpSMax, x.Typ, x, y) }
+
+// Floating-point arithmetic.
+
+func (b *Builder) FAdd(x, y Operand) Operand { return b.emitVal(OpFAdd, x.Typ, x, y) }
+func (b *Builder) FSub(x, y Operand) Operand { return b.emitVal(OpFSub, x.Typ, x, y) }
+func (b *Builder) FMul(x, y Operand) Operand { return b.emitVal(OpFMul, x.Typ, x, y) }
+func (b *Builder) FDiv(x, y Operand) Operand { return b.emitVal(OpFDiv, x.Typ, x, y) }
+func (b *Builder) FMin(x, y Operand) Operand { return b.emitVal(OpFMin, x.Typ, x, y) }
+func (b *Builder) FMax(x, y Operand) Operand { return b.emitVal(OpFMax, x.Typ, x, y) }
+
+// Comparisons and selection.
+
+func (b *Builder) ICmp(p Pred, x, y Operand) Operand {
+	return b.emit(&Instr{Op: OpICmp, Typ: I1, Pred: p, Args: []Operand{x, y}}).Result()
+}
+
+func (b *Builder) FCmp(p Pred, x, y Operand) Operand {
+	return b.emit(&Instr{Op: OpFCmp, Typ: I1, Pred: p, Args: []Operand{x, y}}).Result()
+}
+
+func (b *Builder) Select(c, t, f Operand) Operand {
+	return b.emitVal(OpSelect, t.Typ, c, t, f)
+}
+
+// Conversions.
+
+func (b *Builder) Zext(t Type, v Operand) Operand   { return b.emitVal(OpZext, t, v) }
+func (b *Builder) Sext(t Type, v Operand) Operand   { return b.emitVal(OpSext, t, v) }
+func (b *Builder) Trunc(t Type, v Operand) Operand  { return b.emitVal(OpTrunc, t, v) }
+func (b *Builder) SIToFP(v Operand) Operand         { return b.emitVal(OpSIToFP, F64, v) }
+func (b *Builder) FPToSI(t Type, v Operand) Operand { return b.emitVal(OpFPToSI, t, v) }
+
+// ToI64 sign-extends an i32 value to i64 (no-op for i64 operands).
+func (b *Builder) ToI64(v Operand) Operand {
+	if v.Typ == I64 {
+		return v
+	}
+	if v.Kind == OperConst {
+		return ConstInt(I64, int64(int32(uint32(v.Const))))
+	}
+	return b.Sext(I64, v)
+}
+
+// Memory.
+
+func (b *Builder) Load(t Type, space MemSpace, addr Operand) Operand {
+	return b.emit(&Instr{Op: OpLoad, Typ: t, Space: space, Args: []Operand{addr}}).Result()
+}
+
+func (b *Builder) Store(space MemSpace, val, addr Operand) *Instr {
+	return b.emit(&Instr{Op: OpStore, Space: space, Args: []Operand{val, addr}})
+}
+
+func (b *Builder) AtomicAdd(space MemSpace, addr, val Operand) Operand {
+	return b.emit(&Instr{Op: OpAtomicAdd, Typ: val.Typ, Space: space, Args: []Operand{addr, val}}).Result()
+}
+
+func (b *Builder) AtomicMax(space MemSpace, addr, val Operand) Operand {
+	return b.emit(&Instr{Op: OpAtomicMax, Typ: val.Typ, Space: space, Args: []Operand{addr, val}}).Result()
+}
+
+func (b *Builder) AtomicCAS(space MemSpace, addr, expected, desired Operand) Operand {
+	return b.emit(&Instr{Op: OpAtomicCAS, Typ: expected.Typ, Space: space, Args: []Operand{addr, expected, desired}}).Result()
+}
+
+func (b *Builder) AtomicExch(space MemSpace, addr, val Operand) Operand {
+	return b.emit(&Instr{Op: OpAtomicExch, Typ: val.Typ, Space: space, Args: []Operand{addr, val}}).Result()
+}
+
+// Addressing helpers.
+
+// SharedAddr returns the i64 address of element idx (i32) of the shared
+// array d, whose elements are elemSize bytes.
+func (b *Builder) SharedAddr(d SharedDecl, idx Operand, elemSize int) Operand {
+	i := b.ToI64(idx)
+	off := b.Mul(i, b.I64(int64(elemSize)))
+	return b.Add(off, b.I64(int64(d.Offset)))
+}
+
+// GlobalIdx returns base + idx*elemSize as an i64 global address.
+func (b *Builder) GlobalIdx(base, idx Operand, elemSize int) Operand {
+	i := b.ToI64(idx)
+	off := b.Mul(i, b.I64(int64(elemSize)))
+	return b.Add(base, off)
+}
+
+// GPU intrinsics.
+
+// Barrier emits __syncthreads().
+func (b *Builder) Barrier() *Instr { return b.emit(&Instr{Op: OpBarrier}) }
+
+// Shfl emits __shfl_sync(FULL_MASK, val, lane).
+func (b *Builder) Shfl(val, lane Operand) Operand {
+	return b.emitVal(OpShfl, val.Typ, val, lane)
+}
+
+// Ballot emits __ballot_sync(FULL_MASK, pred).
+func (b *Builder) Ballot(pred Operand) Operand { return b.emitVal(OpBallot, I32, pred) }
+
+// ActiveMask emits __activemask().
+func (b *Builder) ActiveMask() Operand { return b.emitVal(OpActiveMask, I32) }
+
+// Terminators and phis.
+
+func (b *Builder) Br(target string) *Instr {
+	return b.emit(&Instr{Op: OpBr, Succs: []string{target}})
+}
+
+func (b *Builder) CondBr(cond Operand, then, els string) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Args: []Operand{cond}, Succs: []string{then, els}})
+}
+
+func (b *Builder) Ret() *Instr { return b.emit(&Instr{Op: OpRet}) }
+
+// Phi emits a phi node; it must be emitted before any non-phi instruction in
+// the current block. Incomings may be completed later with AddIncoming.
+func (b *Builder) Phi(t Type, inc ...Incoming) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Typ: t, Inc: inc})
+}
+
+// AddIncoming appends an incoming edge to a previously created phi.
+func (b *Builder) AddIncoming(phi *Instr, block string, val Operand) {
+	phi.Inc = append(phi.Inc, Incoming{Block: block, Val: val})
+}

@@ -1,0 +1,312 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module from the textual IR form produced by Module.String.
+// It is the inverse of the printer and is used to reload dumped variants,
+// mirroring the PTX round-trip in the paper's pipeline (Fig 1).
+func Parse(text string) (*Module, error) {
+	p := &parser{lines: strings.Split(text, "\n")}
+	return p.module()
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: parse line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (p *parser) module() (*Module, error) {
+	line, ok := p.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, p.errf("expected 'module <name>'")
+	}
+	m := &Module{Name: strings.TrimSpace(strings.TrimPrefix(line, "module "))}
+	for {
+		line, ok := p.next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, "kernel ") {
+			return nil, p.errf("expected 'kernel', got %q", line)
+		}
+		f, err := p.kernel(line)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	return m, nil
+}
+
+func (p *parser) kernel(header string) (*Function, error) {
+	// kernel name(p0:i64, p1:i32) shared N {
+	rest := strings.TrimPrefix(header, "kernel ")
+	open := strings.Index(rest, "(")
+	close_ := strings.Index(rest, ")")
+	if open < 0 || close_ < open {
+		return nil, p.errf("malformed kernel header %q", header)
+	}
+	f := &Function{Name: strings.TrimSpace(rest[:open])}
+	params := strings.TrimSpace(rest[open+1 : close_])
+	if params != "" {
+		for _, ps := range strings.Split(params, ",") {
+			nameType := strings.SplitN(strings.TrimSpace(ps), ":", 2)
+			if len(nameType) != 2 {
+				return nil, p.errf("malformed parameter %q", ps)
+			}
+			t, ok := TypeByName(nameType[1])
+			if !ok {
+				return nil, p.errf("unknown type %q", nameType[1])
+			}
+			f.Params = append(f.Params, t)
+			f.ParamNames = append(f.ParamNames, nameType[0])
+		}
+	}
+	tail := strings.TrimSpace(rest[close_+1:])
+	tail = strings.TrimSuffix(tail, "{")
+	tail = strings.TrimSpace(tail)
+	if strings.HasPrefix(tail, "shared ") {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(tail, "shared ")))
+		if err != nil {
+			return nil, p.errf("bad shared size: %v", err)
+		}
+		f.SharedBytes = n
+	}
+
+	var cur *Block
+	maxUID := -1
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, p.errf("unexpected EOF in kernel %s", f.Name)
+		}
+		if line == "}" {
+			break
+		}
+		if strings.HasPrefix(line, "sharedarr ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, p.errf("malformed sharedarr %q", line)
+			}
+			off, err1 := strconv.Atoi(fields[2])
+			sz, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, p.errf("malformed sharedarr %q", line)
+			}
+			f.Shared = append(f.Shared, SharedDecl{Name: fields[1], Offset: off, Bytes: sz})
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			cur = &Block{Name: strings.TrimSuffix(line, ":")}
+			f.Blocks = append(f.Blocks, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first block: %q", line)
+		}
+		in, err := p.instr(f, line)
+		if err != nil {
+			return nil, err
+		}
+		if in.UID > maxUID {
+			maxUID = in.UID
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	f.NextUID = maxUID + 1
+	return f, nil
+}
+
+func (p *parser) instr(f *Function, line string) (*Instr, error) {
+	in := &Instr{}
+
+	// Trailing loc: "... !N"
+	if i := strings.LastIndex(line, " !"); i >= 0 {
+		loc, err := strconv.Atoi(strings.TrimSpace(line[i+2:]))
+		if err == nil {
+			in.Loc = loc
+			line = strings.TrimSpace(line[:i])
+		}
+	}
+	// Result type: "... -> type"
+	if i := strings.LastIndex(line, " -> "); i >= 0 {
+		t, ok := TypeByName(strings.TrimSpace(line[i+4:]))
+		if !ok {
+			return nil, p.errf("unknown result type in %q", line)
+		}
+		in.Typ = t
+		line = strings.TrimSpace(line[:i])
+	}
+	// "%uid = op ..."
+	eq := strings.Index(line, " = ")
+	if eq < 0 || !strings.HasPrefix(line, "%") {
+		return nil, p.errf("malformed instruction %q", line)
+	}
+	uid, err := strconv.Atoi(line[1:eq])
+	if err != nil {
+		return nil, p.errf("bad UID in %q", line)
+	}
+	in.UID = uid
+	rest := strings.TrimSpace(line[eq+3:])
+
+	// Opcode, possibly with .pred suffix.
+	sp := strings.IndexAny(rest, " ")
+	opTok := rest
+	if sp >= 0 {
+		opTok = rest[:sp]
+		rest = strings.TrimSpace(rest[sp+1:])
+	} else {
+		rest = ""
+	}
+	if dot := strings.Index(opTok, "."); dot >= 0 {
+		pred, ok := PredByName(opTok[dot+1:])
+		if !ok {
+			return nil, p.errf("unknown predicate %q", opTok[dot+1:])
+		}
+		in.Pred = pred
+		opTok = opTok[:dot]
+	}
+	op, ok := OpcodeByName(opTok)
+	if !ok {
+		return nil, p.errf("unknown opcode %q", opTok)
+	}
+	in.Op = op
+
+	// Memory space prefix token for memory ops.
+	if op.IsMemRead() || op.IsMemWrite() {
+		sp := strings.IndexAny(rest, " ")
+		spaceTok := rest
+		if sp >= 0 {
+			spaceTok = rest[:sp]
+			rest = strings.TrimSpace(rest[sp+1:])
+		} else {
+			rest = ""
+		}
+		switch spaceTok {
+		case "global":
+			in.Space = SpaceGlobal
+		case "shared":
+			in.Space = SpaceShared
+		default:
+			return nil, p.errf("unknown memory space %q", spaceTok)
+		}
+	}
+
+	// Phi incomings: "[block operand] [block operand]..."
+	if op == OpPhi {
+		for rest != "" {
+			if !strings.HasPrefix(rest, "[") {
+				return nil, p.errf("malformed phi %q", line)
+			}
+			end := strings.Index(rest, "]")
+			if end < 0 {
+				return nil, p.errf("malformed phi %q", line)
+			}
+			inner := strings.TrimSpace(rest[1:end])
+			rest = strings.TrimSpace(rest[end+1:])
+			spc := strings.Index(inner, " ")
+			if spc < 0 {
+				return nil, p.errf("malformed phi incoming %q", inner)
+			}
+			val, err := p.operand(f, strings.TrimSpace(inner[spc+1:]))
+			if err != nil {
+				return nil, err
+			}
+			in.Inc = append(in.Inc, Incoming{Block: inner[:spc], Val: val})
+		}
+		return in, nil
+	}
+
+	// Remaining comma-separated tokens: operands then successor names.
+	if rest != "" {
+		for _, tok := range strings.Split(rest, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			if strings.ContainsAny(tok[:1], "%$@-0123456789") || strings.HasPrefix(tok, "fbits(") {
+				o, err := p.operand(f, tok)
+				if err != nil {
+					return nil, err
+				}
+				in.Args = append(in.Args, o)
+			} else {
+				in.Succs = append(in.Succs, tok)
+			}
+		}
+	}
+	return in, nil
+}
+
+func (p *parser) operand(f *Function, tok string) (Operand, error) {
+	colon := strings.LastIndex(tok, ":")
+	if colon < 0 {
+		return Operand{}, p.errf("operand %q missing type", tok)
+	}
+	t, ok := TypeByName(tok[colon+1:])
+	if !ok {
+		return Operand{}, p.errf("operand %q has unknown type", tok)
+	}
+	val := tok[:colon]
+	switch {
+	case strings.HasPrefix(val, "%"):
+		uid, err := strconv.Atoi(val[1:])
+		if err != nil {
+			return Operand{}, p.errf("bad register %q", val)
+		}
+		return Reg(uid, t), nil
+	case strings.HasPrefix(val, "$"):
+		name := val[1:]
+		for i, n := range f.ParamNames {
+			if n == name {
+				return Param(i, t), nil
+			}
+		}
+		return Operand{}, p.errf("unknown parameter %q", name)
+	case strings.HasPrefix(val, "@"):
+		s, ok := SpecialByName(val[1:])
+		if !ok {
+			return Operand{}, p.errf("unknown special %q", val)
+		}
+		return SpecialReg(s), nil
+	case strings.HasPrefix(val, "fbits("):
+		hex := strings.TrimSuffix(strings.TrimPrefix(val, "fbits("), ")")
+		bits, err := strconv.ParseUint(hex, 0, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad float bits %q", val)
+		}
+		return Operand{Kind: OperConst, Typ: t, Const: bits}, nil
+	case t == F64:
+		fv, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad float constant %q", val)
+		}
+		return ConstFloat(fv), nil
+	default:
+		iv, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad int constant %q", val)
+		}
+		return ConstInt(t, iv), nil
+	}
+}

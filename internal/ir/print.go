@@ -1,0 +1,151 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// The textual IR format. It round-trips through Parse and exists for the same
+// reason the paper serializes mutated LLVM-IR to PTX: variants can be dumped,
+// inspected, diffed against the base program, and reloaded.
+//
+// Example:
+//
+//	module adept_v0
+//	kernel sw(seq:i64, n:i32) shared 256 {
+//	  sharedarr sh_H 0 128
+//	entry:
+//	  %0 = add @tid:i32, 1:i32 -> i32 !3
+//	  %1 = icmp.lt %0:i32, $n:i32 -> i1
+//	  %2 = condbr %1:i1, body, done
+//	body:
+//	  %3 = store global %0:i32, $seq:i64
+//	  %4 = br done
+//	done:
+//	  %5 = ret
+//	}
+
+// String renders the module in textual IR form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function in textual IR form.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s(", f.Name)
+	for i, t := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%s", f.paramName(i), t)
+	}
+	fmt.Fprintf(&sb, ") shared %d {\n", f.SharedBytes)
+	for _, d := range f.Shared {
+		fmt.Fprintf(&sb, "  sharedarr %s %d %d\n", d.Name, d.Offset, d.Bytes)
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", f.FormatInstr(in))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (f *Function) paramName(i int) string {
+	if i < len(f.ParamNames) && f.ParamNames[i] != "" {
+		return f.ParamNames[i]
+	}
+	return fmt.Sprintf("p%d", i)
+}
+
+// FormatInstr renders one instruction in textual IR form.
+func (f *Function) FormatInstr(in *Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%%%d = %s", in.UID, in.Op)
+	if in.Op == OpICmp || in.Op == OpFCmp {
+		fmt.Fprintf(&sb, ".%s", in.Pred)
+	}
+	if in.Op.IsMemRead() || in.Op.IsMemWrite() {
+		fmt.Fprintf(&sb, " %s", in.Space)
+	}
+	sep := " "
+	if in.Op.IsMemRead() || in.Op.IsMemWrite() {
+		sep = " "
+	}
+	for i, a := range in.Args {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(sep)
+		sb.WriteString(f.formatOperand(a))
+		sep = " "
+	}
+	if in.Op == OpPhi {
+		for _, inc := range in.Inc {
+			fmt.Fprintf(&sb, " [%s %s]", inc.Block, f.formatOperand(inc.Val))
+		}
+	}
+	if len(in.Succs) > 0 {
+		if len(in.Args) > 0 {
+			sb.WriteString(",")
+		}
+		for i, s := range in.Succs {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", s)
+		}
+	}
+	if in.Typ != Void {
+		fmt.Fprintf(&sb, " -> %s", in.Typ)
+	}
+	if in.Loc != 0 {
+		fmt.Fprintf(&sb, " !%d", in.Loc)
+	}
+	return sb.String()
+}
+
+func (f *Function) formatOperand(o Operand) string {
+	switch o.Kind {
+	case OperConst:
+		if o.Typ == F64 {
+			v := math.Float64frombits(o.Const)
+			if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+				return fmt.Sprintf("%.1f:%s", v, o.Typ)
+			}
+			return fmt.Sprintf("fbits(%#x):%s", o.Const, o.Typ)
+		}
+		return fmt.Sprintf("%d:%s", signedConst(o), o.Typ)
+	case OperInstr:
+		return fmt.Sprintf("%%%d:%s", o.Ref, o.Typ)
+	case OperParam:
+		return fmt.Sprintf("$%s:%s", f.paramName(o.Index), o.Typ)
+	case OperSpecial:
+		return fmt.Sprintf("@%s:%s", Special(o.Index), o.Typ)
+	default:
+		return fmt.Sprintf("?%d", o.Kind)
+	}
+}
+
+// signedConst interprets the constant bits as a signed value of its type.
+func signedConst(o Operand) int64 {
+	switch o.Typ {
+	case I1:
+		return int64(o.Const & 1)
+	case I8:
+		return int64(int8(uint8(o.Const)))
+	case I32:
+		return int64(int32(uint32(o.Const)))
+	default:
+		return int64(o.Const)
+	}
+}

@@ -1,0 +1,166 @@
+// Package ir defines the SSA intermediate representation that GEVO-Go
+// mutates and the GPU simulator executes. It plays the role LLVM-IR plays in
+// the paper: kernels are lowered to ir.Function values, the evolutionary
+// engine edits them at the instruction level, and the result is handed to the
+// simulator (the paper's PTX → GPU step).
+//
+// The IR is deliberately small but complete for GPU kernels: typed SSA
+// values, basic blocks with explicit terminators, phi nodes, loads/stores in
+// distinct address spaces (global, shared), atomics, and the warp-level
+// intrinsics the paper's analysis revolves around (shfl_sync, ballot_sync,
+// activemask, barrier).
+package ir
+
+import "fmt"
+
+// Type is the type of an SSA value. The IR is monomorphic and uses a fixed
+// small set of types, mirroring the subset of LLVM types that appear in the
+// paper's kernels.
+type Type uint8
+
+const (
+	// Void is the type of instructions that produce no value (stores,
+	// barriers, branches).
+	Void Type = iota
+	// I1 is a boolean (comparison results, branch conditions).
+	I1
+	// I8 is a byte (sequence characters, cell states).
+	I8
+	// I32 is a 32-bit signed integer.
+	I32
+	// I64 is a 64-bit signed integer; also used for addresses.
+	I64
+	// F64 is a double-precision float (SIMCoV concentrations).
+	F64
+)
+
+// Size returns the in-memory size of the type in bytes. Void has size 0.
+func (t Type) Size() int {
+	switch t {
+	case I1, I8:
+		return 1
+	case I32:
+		return 4
+	case I64, F64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I8:
+		return "i8"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// TypeByName maps the textual form back to a Type; used by the parser.
+func TypeByName(s string) (Type, bool) {
+	switch s {
+	case "void":
+		return Void, true
+	case "i1":
+		return I1, true
+	case "i8":
+		return I8, true
+	case "i32":
+		return I32, true
+	case "i64":
+		return I64, true
+	case "f64":
+		return F64, true
+	}
+	return Void, false
+}
+
+// IsInt reports whether the type is an integer type (including i1).
+func (t Type) IsInt() bool { return t == I1 || t == I8 || t == I32 || t == I64 }
+
+// IsFloat reports whether the type is a floating-point type.
+func (t Type) IsFloat() bool { return t == F64 }
+
+// MemSpace identifies the address space of a memory operation, following the
+// CUDA memory hierarchy the paper describes in Section II-B.
+type MemSpace uint8
+
+const (
+	// SpaceGlobal is device global memory: visible to all threads, high
+	// latency, coalescing-sensitive.
+	SpaceGlobal MemSpace = iota
+	// SpaceShared is per-thread-block shared memory: low latency,
+	// bank-conflict-sensitive.
+	SpaceShared
+)
+
+func (s MemSpace) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("space(%d)", uint8(s))
+	}
+}
+
+// Special identifies a hardware special register readable by kernels,
+// equivalent to CUDA's built-in variables.
+type Special uint8
+
+const (
+	// SpecialTID is threadIdx.x.
+	SpecialTID Special = iota
+	// SpecialBID is blockIdx.x.
+	SpecialBID
+	// SpecialBDim is blockDim.x.
+	SpecialBDim
+	// SpecialGDim is gridDim.x.
+	SpecialGDim
+	// SpecialLane is the lane index within the warp (threadIdx.x % 32).
+	SpecialLane
+	// SpecialWarp is the warp index within the block (threadIdx.x / 32).
+	SpecialWarp
+	numSpecials
+)
+
+func (s Special) String() string {
+	switch s {
+	case SpecialTID:
+		return "tid"
+	case SpecialBID:
+		return "bid"
+	case SpecialBDim:
+		return "bdim"
+	case SpecialGDim:
+		return "gdim"
+	case SpecialLane:
+		return "lane"
+	case SpecialWarp:
+		return "warp"
+	default:
+		return fmt.Sprintf("special(%d)", uint8(s))
+	}
+}
+
+// SpecialByName maps the textual form back to a Special; used by the parser.
+func SpecialByName(s string) (Special, bool) {
+	for sp := Special(0); sp < numSpecials; sp++ {
+		if sp.String() == s {
+			return sp, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,782 @@
+// Package kernels constructs the GPU kernels of the paper's two
+// applications — ADEPT (Smith-Waterman sequence alignment) and SIMCoV
+// (SARS-CoV-2 lung infection) — in the project IR. The kernels reproduce the
+// code structures the paper's Section VI analysis depends on:
+//
+//   - ADEPT-V0: the pre-hand-tuning implementation, one kernel, with the
+//     per-element shared-memory initialization + __syncthreads loop whose
+//     removal yields the ~30× improvement (Section VI-C);
+//   - ADEPT-V1: the hand-tuned implementation, two kernels (forward scoring
+//     and reverse start-position pass), exchanging wavefront values through
+//     registers (__shfl_sync) with a shared-memory slow path for lane 0 —
+//     the exact structure of Figure 9 with the edit sites of the epistatic
+//     cluster (edits 5, 6, 8, 10) — plus the activemask/ballot_sync guards
+//     of Section VI-B;
+//   - SIMCoV: eight kernels (see simcov.go), including the boundary-checked
+//     diffusion kernels of Section VI-D.
+package kernels
+
+import (
+	"fmt"
+
+	"gevo/internal/ir"
+)
+
+// MaxSeqThreads is the maximum query length (= threads per block) the ADEPT
+// kernels are built for; shared arrays are sized against it.
+const MaxSeqThreads = 128
+
+// negInf mirrors align's DP minus-infinity.
+const negInf = -(1 << 28)
+
+// ADEPTVersion selects the development stage of the ADEPT code, per the
+// paper's Section III-B.
+type ADEPTVersion int
+
+const (
+	// ADEPTV0 is the original parallel implementation (one kernel).
+	ADEPTV0 ADEPTVersion = iota
+	// ADEPTV1 is the hand-optimized implementation (two kernels).
+	ADEPTV1
+)
+
+func (v ADEPTVersion) String() string {
+	if v == ADEPTV0 {
+		return "ADEPT-V0"
+	}
+	return "ADEPT-V1"
+}
+
+// ADEPT kernel parameter indices, shared by all versions. Kernels are
+// launched with one thread block per sequence pair.
+//
+//	ref       i64  base of concatenated reference sequences
+//	query     i64  base of concatenated query sequences
+//	refOffs   i64  per-pair i32 reference offsets
+//	refLens   i64  per-pair i32 reference lengths
+//	qOffs     i64  per-pair i32 query offsets
+//	qLens     i64  per-pair i32 query lengths
+//	out       i64  per-pair result records (OutStride bytes)
+//	match     i32  match score
+//	mismatch  i32  mismatch score (negative)
+//	gapOpen   i32  gap-open cost (positive)
+//	gapExtend i32  gap-extension cost (positive)
+
+// OutStride is the byte stride of one ADEPT result record:
+// [score, refEnd, queryEnd, pad, refStart, queryStart, pad, pad] as i32.
+const OutStride = 32
+
+// Result-record field byte offsets.
+const (
+	OutScore      = 0
+	OutRefEnd     = 4
+	OutQueryEnd   = 8
+	OutRefStart   = 16
+	OutQueryStart = 20
+)
+
+// ADEPTModule builds the complete module for the given ADEPT version:
+// kernel "sw_forward" (and "sw_reverse" for V1) plus the pseudo-source
+// listing used for edit-to-source correspondence.
+func ADEPTModule(v ADEPTVersion) *ir.Module {
+	m := &ir.Module{Name: v.String(), Source: adeptSource(v)}
+	if v == ADEPTV0 {
+		m.Funcs = append(m.Funcs, buildSWv0())
+		return m
+	}
+	m.Funcs = append(m.Funcs, buildSWv1(false), buildSWv1(true))
+	return m
+}
+
+// swParams declares the common parameter list and returns the operands.
+type swParams struct {
+	ref, query                   ir.Operand
+	refOffs, refLens             ir.Operand
+	qOffs, qLens                 ir.Operand
+	out                          ir.Operand
+	match, mismatch, open, extnd ir.Operand
+}
+
+func declareSWParams(b *ir.Builder) swParams {
+	return swParams{
+		ref:      b.Param("ref", ir.I64),
+		query:    b.Param("query", ir.I64),
+		refOffs:  b.Param("ref_offs", ir.I64),
+		refLens:  b.Param("ref_lens", ir.I64),
+		qOffs:    b.Param("q_offs", ir.I64),
+		qLens:    b.Param("q_lens", ir.I64),
+		out:      b.Param("out", ir.I64),
+		match:    b.Param("match", ir.I32),
+		mismatch: b.Param("mismatch", ir.I32),
+		open:     b.Param("gap_open", ir.I32),
+		extnd:    b.Param("gap_extend", ir.I32),
+	}
+}
+
+// loadPairMeta loads the per-pair offsets and lengths for this block.
+func loadPairMeta(b *ir.Builder, p swParams) (refOff, refLen, qOff, qLen ir.Operand) {
+	bid := b.Special(ir.SpecialBID)
+	refOff = b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.refOffs, bid, 4))
+	refLen = b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.refLens, bid, 4))
+	qOff = b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.qOffs, bid, 4))
+	qLen = b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.qLens, bid, 4))
+	return
+}
+
+// dpState bundles the per-thread wavefront registers rotated through the
+// diagonal loop phis.
+type dpState struct {
+	d, prevH, prevPPH, prevE, prevF, best, bestI *ir.Instr
+}
+
+// emitDPCore emits the shared scoring arithmetic given the left-neighbour
+// values, returning (newH, newE, newF, best', bestI'). It reads the current
+// diagonal state from st.
+func emitDPCore(b *ir.Builder, p swParams, st dpState, i, lE, lH, dH, refC, myQ ir.Operand) (newH, newE, newF, nBest, nBestI ir.Operand) {
+	isT0 := b.ICmp(ir.PredEQ, b.Special(ir.SpecialTID), b.I32(0))
+	lEc := b.Select(isT0, b.I32(negInf), lE)
+	lHc := b.Select(isT0, b.I32(0), lH)
+	dHc := b.Select(isT0, b.I32(0), dH)
+
+	// E[i][j] = max(E[i][j-1] - extend, H[i][j-1] - open)
+	eVal := b.SMax(b.Sub(lEc, p.extnd), b.Sub(lHc, p.open))
+	// F[i][j] = max(F[i-1][j] - extend, H[i-1][j] - open) (own column)
+	fVal := b.SMax(b.Sub(st.prevF.Result(), p.extnd), b.Sub(st.prevH.Result(), p.open))
+	// Diagonal term: H[i-1][j-1] + s(a_i, b_j); row 0 uses H[-1][j-1] = 0.
+	isI0 := b.ICmp(ir.PredEQ, i, b.I32(0))
+	diagH := b.Select(isI0, b.I32(0), dHc)
+	eqc := b.ICmp(ir.PredEQ, refC, myQ)
+	subst := b.Select(eqc, p.match, p.mismatch)
+	diagScore := b.Add(diagH, subst)
+
+	h1 := b.SMax(diagScore, eVal)
+	h2 := b.SMax(h1, fVal)
+	newH = b.SMax(h2, b.I32(0))
+
+	better := b.ICmp(ir.PredGT, newH, st.best.Result())
+	nBest = b.Select(better, newH, st.best.Result())
+	nBestI = b.Select(better, i, st.bestI.Result())
+	return newH, eVal, fVal, nBest, nBestI
+}
+
+// emitReduction emits the per-block result reduction: every thread parks its
+// column best in shared memory, thread 0 scans columns in order (smallest
+// query index wins ties, matching align.Forward), and writes the result
+// record. When reverse is true the kernel writes start positions computed
+// from the forward end positions.
+func emitReduction(b *ir.Builder, p swParams, redScore, redI ir.SharedDecl, qLen, best, bestI ir.Operand, reverse bool, refEnd, qEnd ir.Operand) {
+	tid := b.Special(ir.SpecialTID)
+	b.Store(ir.SpaceShared, best, b.SharedAddr(redScore, tid, 4))
+	b.Store(ir.SpaceShared, bestI, b.SharedAddr(redI, tid, 4))
+	b.Barrier()
+	isT0 := b.ICmp(ir.PredEQ, tid, b.I32(0))
+	b.CondBr(isT0, "red_head", "done")
+
+	b.Block("red_head")
+	jPhi := b.Phi(ir.I32)
+	rbPhi := b.Phi(ir.I32)
+	rbiPhi := b.Phi(ir.I32)
+	rbjPhi := b.Phi(ir.I32)
+	sj := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(redScore, jPhi.Result(), 4))
+	ij := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(redI, jPhi.Result(), 4))
+	bt := b.ICmp(ir.PredGT, sj, rbPhi.Result())
+	rb2 := b.Select(bt, sj, rbPhi.Result())
+	rbi2 := b.Select(bt, ij, rbiPhi.Result())
+	rbj2 := b.Select(bt, jPhi.Result(), rbjPhi.Result())
+	j1 := b.Add(jPhi.Result(), b.I32(1))
+	more := b.ICmp(ir.PredLT, j1, qLen)
+	b.CondBr(more, "red_head", "red_done")
+	b.AddIncoming(jPhi, "finish", b.I32(0))
+	b.AddIncoming(jPhi, "red_head", j1)
+	b.AddIncoming(rbPhi, "finish", b.I32(0))
+	b.AddIncoming(rbPhi, "red_head", rb2)
+	b.AddIncoming(rbiPhi, "finish", b.I32(-1))
+	b.AddIncoming(rbiPhi, "red_head", rbi2)
+	b.AddIncoming(rbjPhi, "finish", b.I32(-1))
+	b.AddIncoming(rbjPhi, "red_head", rbj2)
+
+	b.Block("red_done")
+	bid := b.Special(ir.SpecialBID)
+	rec := b.Add(p.out, b.Mul(b.ToI64(bid), b.I64(OutStride)))
+	if !reverse {
+		b.Store(ir.SpaceGlobal, rb2, b.Add(rec, b.I64(OutScore)))
+		b.Store(ir.SpaceGlobal, rbi2, b.Add(rec, b.I64(OutRefEnd)))
+		b.Store(ir.SpaceGlobal, rbj2, b.Add(rec, b.I64(OutQueryEnd)))
+	} else {
+		pos := b.ICmp(ir.PredGT, rb2, b.I32(0))
+		refStart := b.Select(pos, b.Sub(refEnd, rbi2), b.I32(-1))
+		qStart := b.Select(pos, b.Sub(qEnd, rbj2), b.I32(-1))
+		b.Store(ir.SpaceGlobal, refStart, b.Add(rec, b.I64(OutRefStart)))
+		b.Store(ir.SpaceGlobal, qStart, b.Add(rec, b.I64(OutQueryStart)))
+	}
+	b.Br("done")
+
+	b.Block("done")
+	b.Ret()
+}
+
+// buildSWv0 builds the ADEPT-V0 kernel: plain shared-memory exchange with
+// two barriers per diagonal and, critically, the per-element shared-memory
+// initialization loop with __syncthreads inside it — the Section VI-C
+// bottleneck ("GPU threads block each other to initialize the same memory
+// region over and over again").
+func buildSWv0() *ir.Function {
+	b := ir.NewBuilder("sw_forward")
+	p := declareSWParams(b)
+	shE := b.SharedArray("sh_E", MaxSeqThreads, 4)
+	shH := b.SharedArray("sh_H", MaxSeqThreads, 4)
+	shPPH := b.SharedArray("sh_PPH", MaxSeqThreads, 4)
+	redScore := b.SharedArray("red_score", MaxSeqThreads, 4)
+	redI := b.SharedArray("red_i", MaxSeqThreads, 4)
+
+	b.Block("entry")
+	b.At(srcV0Entry)
+	tid := b.Special(ir.SpecialTID)
+	_, refLen, _, qLen := loadPairMeta(b, p)
+	totalD := b.Sub(b.Add(refLen, qLen), b.I32(1))
+	hasWork := b.ICmp(ir.PredGT, totalD, b.I32(0))
+	b.CondBr(hasWork, "loop_head", "finish")
+
+	b.Block("loop_head")
+	st := dpState{
+		d:       b.Phi(ir.I32),
+		prevH:   b.Phi(ir.I32),
+		prevPPH: b.Phi(ir.I32),
+		prevE:   b.Phi(ir.I32),
+		prevF:   b.Phi(ir.I32),
+		best:    b.Phi(ir.I32),
+		bestI:   b.Phi(ir.I32),
+	}
+	b.Br("init_head")
+
+	// --- the memset + syncthreads region (Section VI-C) ---
+	// Every thread re-initializes the entire declared shared arrays, one
+	// element at a time, with a barrier after every store: "GPU threads
+	// block each other to initialize the same memory region over and over
+	// again".
+	b.Block("init_head")
+	b.At(srcV0Memset)
+	kPhi := b.Phi(ir.I32)
+	k := kPhi.Result()
+	b.Store(ir.SpaceShared, b.I32(0), b.SharedAddr(shE, k, 4))
+	b.At(srcV0MemsetSync)
+	b.Barrier()
+	b.At(srcV0Memset)
+	b.Store(ir.SpaceShared, b.I32(0), b.SharedAddr(shH, k, 4))
+	b.At(srcV0MemsetSync)
+	b.Barrier()
+	b.At(srcV0Memset)
+	b.Store(ir.SpaceShared, b.I32(0), b.SharedAddr(shPPH, k, 4))
+	b.At(srcV0MemsetSync)
+	b.Barrier()
+	k1 := b.Add(k, b.I32(1))
+	initMore := b.ICmp(ir.PredLT, k1, b.I32(MaxSeqThreads))
+	b.CondBr(initMore, "init_head", "store_phase")
+	b.AddIncoming(kPhi, "loop_head", b.I32(0))
+	b.AddIncoming(kPhi, "init_head", k1)
+
+	// --- exchange store phase ---
+	b.Block("store_phase")
+	b.At(srcV0Store)
+	// V0 re-loads the pair metadata from global memory every diagonal (the
+	// unhoisted loads typical of a first port).
+	refOff2 := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.refOffs, b.Special(ir.SpecialBID), 4))
+	refLen2 := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.refLens, b.Special(ir.SpecialBID), 4))
+	qOff2 := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.qOffs, b.Special(ir.SpecialBID), 4))
+	qLen2 := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(p.qLens, b.Special(ir.SpecialBID), 4))
+	d := st.d.Result()
+	i := b.Sub(d, tid)
+	validLo := b.ICmp(ir.PredGE, i, b.I32(0))
+	validHi := b.ICmp(ir.PredLT, i, refLen2)
+	isValid := b.And(validLo, validHi)
+	tidLtQ := b.ICmp(ir.PredLT, tid, qLen2)
+	guard := b.And(isValid, tidLtQ)
+	b.Store(ir.SpaceShared, st.prevE.Result(), b.SharedAddr(shE, tid, 4))
+	b.Store(ir.SpaceShared, st.prevH.Result(), b.SharedAddr(shH, tid, 4))
+	b.Store(ir.SpaceShared, st.prevPPH.Result(), b.SharedAddr(shPPH, tid, 4))
+	b.Barrier()
+	b.CondBr(guard, "compute", "skip")
+
+	// --- compute phase ---
+	b.Block("compute")
+	b.At(srcV0Compute)
+	ltid := b.SMax(b.Sub(tid, b.I32(1)), b.I32(0))
+	lE := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shE, ltid, 4))
+	lH := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shH, ltid, 4))
+	dH := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shPPH, ltid, 4))
+	// ... and both characters, every diagonal.
+	refC := b.Load(ir.I8, ir.SpaceGlobal, b.GlobalIdx(p.ref, b.Add(refOff2, i), 1))
+	myQ := b.Load(ir.I8, ir.SpaceGlobal, b.GlobalIdx(p.query, b.Add(qOff2, tid), 1))
+	newH, newE, newF, nBest, nBestI := emitDPCore(b, p, st, i, lE, lH, dH, refC, myQ)
+	b.Br("skip")
+
+	b.Block("skip")
+	nH := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: newH}, ir.Incoming{Block: "store_phase", Val: st.prevH.Result()})
+	nPPH := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: st.prevH.Result()}, ir.Incoming{Block: "store_phase", Val: st.prevPPH.Result()})
+	nE := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: newE}, ir.Incoming{Block: "store_phase", Val: st.prevE.Result()})
+	nF := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: newF}, ir.Incoming{Block: "store_phase", Val: st.prevF.Result()})
+	nB := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: nBest}, ir.Incoming{Block: "store_phase", Val: st.best.Result()})
+	nBI := b.Phi(ir.I32, ir.Incoming{Block: "compute", Val: nBestI}, ir.Incoming{Block: "store_phase", Val: st.bestI.Result()})
+	b.At(srcV0Latch)
+	b.Barrier()
+	d1 := b.Add(d, b.I32(1))
+	moreD := b.ICmp(ir.PredLT, d1, totalD)
+	b.CondBr(moreD, "loop_head", "finish")
+	b.AddIncoming(st.d, "entry", b.I32(0))
+	b.AddIncoming(st.d, "skip", d1)
+	b.AddIncoming(st.prevH, "entry", b.I32(0))
+	b.AddIncoming(st.prevH, "skip", nH.Result())
+	b.AddIncoming(st.prevPPH, "entry", b.I32(0))
+	b.AddIncoming(st.prevPPH, "skip", nPPH.Result())
+	b.AddIncoming(st.prevE, "entry", b.I32(0))
+	b.AddIncoming(st.prevE, "skip", nE.Result())
+	b.AddIncoming(st.prevF, "entry", b.I32(negInf))
+	b.AddIncoming(st.prevF, "skip", nF.Result())
+	b.AddIncoming(st.best, "entry", b.I32(0))
+	b.AddIncoming(st.best, "skip", nB.Result())
+	b.AddIncoming(st.bestI, "entry", b.I32(-1))
+	b.AddIncoming(st.bestI, "skip", nBI.Result())
+
+	b.Block("finish")
+	b.At(srcV0Reduce)
+	bestF := b.Phi(ir.I32, ir.Incoming{Block: "entry", Val: b.I32(0)}, ir.Incoming{Block: "skip", Val: nB.Result()})
+	bestIF := b.Phi(ir.I32, ir.Incoming{Block: "entry", Val: b.I32(-1)}, ir.Incoming{Block: "skip", Val: nBI.Result()})
+	emitReduction(b, p, redScore, redI, qLen, bestF.Result(), bestIF.Result(), false, ir.Operand{}, ir.Operand{})
+	return b.Finish()
+}
+
+// buildSWv1 builds the ADEPT-V1 forward (reverse=false) or reverse
+// (reverse=true) kernel: the hand-tuned implementation of Figure 9. Wavefront
+// values move between lanes through __shfl_sync, across warps through small
+// sh_prev_* shared arrays written by lane 31, and — in the tail phase
+// (diag >= maxSize) — through per-thread local_prev_* shared arrays. All
+// exchange buffers are double-buffered by diagonal parity so one
+// __syncthreads per diagonal suffices.
+//
+// Edit sites (paper Figure 9):
+//   - edit 5: the `laneId == 31` comparison (constant operand);
+//   - edit 6: the `diag >= maxSize` condition guarding local_prev stores;
+//   - edit 8: the `diag >= maxSize` condition guarding the E exchange;
+//   - edit 9 (this implementation also exchanges prev_H): same for H;
+//   - edit 10: the `diag >= maxSize` condition guarding the diagonal-H
+//     exchange.
+func buildSWv1(reverse bool) *ir.Function {
+	name := "sw_forward"
+	if reverse {
+		name = "sw_reverse"
+	}
+	b := ir.NewBuilder(name)
+	p := declareSWParams(b)
+	const nWarps = MaxSeqThreads / 32
+	// Cross-warp exchange, double-buffered by parity: [2][nWarps].
+	shPrevE := b.SharedArray("sh_prev_E", 2*nWarps, 4)
+	shPrevH := b.SharedArray("sh_prev_H", 2*nWarps, 4)
+	shPrevPPH := b.SharedArray("sh_prev_prev_H", 2*nWarps, 4)
+	// Tail-phase per-thread exchange, double-buffered: [2][MaxSeqThreads].
+	locE := b.SharedArray("local_prev_E", 2*MaxSeqThreads, 4)
+	locH := b.SharedArray("local_prev_H", 2*MaxSeqThreads, 4)
+	locPPH := b.SharedArray("local_prev_prev_H", 2*MaxSeqThreads, 4)
+	redScore := b.SharedArray("red_score", MaxSeqThreads, 4)
+	redI := b.SharedArray("red_i", MaxSeqThreads, 4)
+
+	b.Block("entry")
+	b.At(srcV1Entry)
+	tid := b.Special(ir.SpecialTID)
+	lane := b.Special(ir.SpecialLane)
+	warpID := b.Special(ir.SpecialWarp)
+	bid := b.Special(ir.SpecialBID)
+	refOff, refLen0, qOff, qLen0 := loadPairMeta(b, p)
+
+	var refLen, qLen, refEnd, qEnd ir.Operand
+	if !reverse {
+		refLen, qLen = refLen0, qLen0
+		refEnd, qEnd = ir.Operand{}, ir.Operand{}
+	} else {
+		// The reverse pass aligns the reversed prefixes ending at the
+		// forward end positions (ADEPT's second kernel).
+		rec := b.Add(p.out, b.Mul(b.ToI64(bid), b.I64(OutStride)))
+		refEnd = b.Load(ir.I32, ir.SpaceGlobal, b.Add(rec, b.I64(OutRefEnd)))
+		qEnd = b.Load(ir.I32, ir.SpaceGlobal, b.Add(rec, b.I64(OutQueryEnd)))
+		refLen = b.Add(refEnd, b.I32(1))
+		qLen = b.Add(qEnd, b.I32(1))
+	}
+	totalD := b.Sub(b.Add(refLen, qLen), b.I32(1))
+
+	// Hoisted query character (V1 hand-tuning): clamp index into range.
+	qIdx := b.SMax(b.SMin(tid, b.Sub(qLen, b.I32(1))), b.I32(0))
+	var qAddr ir.Operand
+	if !reverse {
+		qAddr = b.GlobalIdx(p.query, b.Add(qOff, qIdx), 1)
+	} else {
+		qAddr = b.GlobalIdx(p.query, b.Add(qOff, b.Sub(qEnd, qIdx)), 1)
+	}
+	myQ := b.Load(ir.I8, ir.SpaceGlobal, qAddr)
+	hasWork := b.ICmp(ir.PredGT, totalD, b.I32(0))
+	b.CondBr(hasWork, "loop_head", "finish")
+
+	b.Block("loop_head")
+	st := dpState{
+		d:       b.Phi(ir.I32),
+		prevH:   b.Phi(ir.I32),
+		prevPPH: b.Phi(ir.I32),
+		prevE:   b.Phi(ir.I32),
+		prevF:   b.Phi(ir.I32),
+		best:    b.Phi(ir.I32),
+		bestI:   b.Phi(ir.I32),
+	}
+	b.At(srcV1Head)
+	d := st.d.Result()
+	i := b.Sub(d, tid)
+	validLo := b.ICmp(ir.PredGE, i, b.I32(0))
+	validHi := b.ICmp(ir.PredLT, i, refLen)
+	isValid := b.And(validLo, validHi)
+	tidLtQ := b.ICmp(ir.PredLT, tid, qLen) // minSize = qLen
+	guard := b.And(isValid, tidLtQ)
+	parity := b.And(d, b.I32(1))
+	parWarp := b.Add(b.Mul(parity, b.I32(nWarps)), warpID)
+	parTid := b.Add(b.Mul(parity, b.I32(MaxSeqThreads)), tid)
+
+	// Line 3 of Fig 9: if (laneId == 31) publish for the next warp's lane 0.
+	b.At(srcV1Edit5)
+	is31 := b.ICmp(ir.PredEQ, lane, b.I32(31)) // edit 5 site
+	b.CondBr(is31, "store_sh", "after_sh")
+
+	b.Block("store_sh")
+	b.At(srcV1StoreSh)
+	b.Store(ir.SpaceShared, st.prevE.Result(), b.SharedAddr(shPrevE, parWarp, 4))
+	b.Store(ir.SpaceShared, st.prevH.Result(), b.SharedAddr(shPrevH, parWarp, 4))
+	b.Store(ir.SpaceShared, st.prevPPH.Result(), b.SharedAddr(shPrevPPH, parWarp, 4))
+	b.Br("after_sh")
+
+	b.Block("after_sh")
+	b.At(srcV1Edit6)
+	// Planted inefficiency P5: a leftover debugging read, never used.
+	b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(redScore, b.SMax(b.Sub(tid, b.I32(1)), b.I32(0)), 4))
+	// Line 8 of Fig 9: tail-phase spill of per-thread values.
+	inTail := b.ICmp(ir.PredGE, d, refLen)         // maxSize = refLen
+	b.CondBr(inTail, "store_local", "after_local") // edit 6 site
+
+	b.Block("store_local")
+	b.At(srcV1StoreLocal)
+	b.Store(ir.SpaceShared, st.prevE.Result(), b.SharedAddr(locE, parTid, 4))
+	b.Store(ir.SpaceShared, st.prevH.Result(), b.SharedAddr(locH, parTid, 4))
+	b.Store(ir.SpaceShared, st.prevPPH.Result(), b.SharedAddr(locPPH, parTid, 4))
+	b.Br("after_local")
+
+	b.Block("after_local")
+	b.At(srcV1Sync)
+	b.Barrier()                        // line 12
+	b.CondBr(guard, "compute", "skip") // line 14
+
+	b.Block("compute")
+	b.At(srcV1WarpSync)
+	// The developers' conservative warp-sync guards (Section VI-B).
+	b.ActiveMask()
+	b.Ballot(b.Bool(true))
+	// Planted inefficiency P3: defensive re-store of the local spill.
+	b.Store(ir.SpaceShared, st.prevE.Result(), b.SharedAddr(locE, parTid, 4))
+	ltid := b.SMax(b.Sub(tid, b.I32(1)), b.I32(0))
+	parLtid := b.Add(b.Mul(parity, b.I32(MaxSeqThreads)), ltid)
+
+	// ---- E/H exchange (Fig 9 lines 16-23) ----
+	b.At(srcV1Edit8)
+	c8 := b.ICmp(ir.PredGE, d, refLen)
+	b.CondBr(c8, "e_local", "e_warp") // edit 8 site
+
+	b.Block("e_local")
+	b.At(srcV1ELocal)
+	lEl := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(locE, parLtid, 4))
+	lHl := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(locH, parLtid, 4))
+	b.Br("e_join")
+
+	b.Block("e_warp")
+	b.At(srcV1EWarp)
+	isL0 := b.ICmp(ir.PredEQ, lane, b.I32(0))
+	wNot0 := b.ICmp(ir.PredNE, warpID, b.I32(0))
+	useSh := b.And(isL0, wNot0)
+	b.CondBr(useSh, "e_sh", "e_shfl")
+
+	b.Block("e_sh")
+	parWm1 := b.Add(b.Mul(parity, b.I32(nWarps)), b.Sub(warpID, b.I32(1)))
+	lEs := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shPrevE, parWm1, 4))
+	lHs := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shPrevH, parWm1, 4))
+	b.Br("e_wjoin")
+
+	b.Block("e_shfl")
+	b.At(srcV1EShfl)
+	lm1 := b.Sub(lane, b.I32(1))
+	lEf := b.Shfl(st.prevE.Result(), lm1)
+	lHf := b.Shfl(st.prevH.Result(), lm1)
+	b.Br("e_wjoin")
+
+	b.Block("e_wjoin")
+	lEw := b.Phi(ir.I32, ir.Incoming{Block: "e_sh", Val: lEs}, ir.Incoming{Block: "e_shfl", Val: lEf})
+	lHw := b.Phi(ir.I32, ir.Incoming{Block: "e_sh", Val: lHs}, ir.Incoming{Block: "e_shfl", Val: lHf})
+	b.Br("e_join")
+
+	b.Block("e_join")
+	lE := b.Phi(ir.I32, ir.Incoming{Block: "e_local", Val: lEl}, ir.Incoming{Block: "e_wjoin", Val: lEw.Result()})
+	lH := b.Phi(ir.I32, ir.Incoming{Block: "e_local", Val: lHl}, ir.Incoming{Block: "e_wjoin", Val: lHw.Result()})
+
+	// ---- diagonal-H exchange (Fig 9 lines 25-33) ----
+	b.At(srcV1Edit10)
+	c10 := b.ICmp(ir.PredGE, d, refLen)
+	b.CondBr(c10, "h_local", "h_warp") // edit 10 site
+
+	b.Block("h_local")
+	b.At(srcV1HLocal)
+	dHl := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(locPPH, parLtid, 4))
+	b.Br("h_join")
+
+	b.Block("h_warp")
+	b.At(srcV1HWarp)
+	isL0b := b.ICmp(ir.PredEQ, lane, b.I32(0))
+	wNot0b := b.ICmp(ir.PredNE, warpID, b.I32(0))
+	useShB := b.And(isL0b, wNot0b)
+	b.CondBr(useShB, "h_sh", "h_shfl")
+
+	b.Block("h_sh")
+	parWm1b := b.Add(b.Mul(parity, b.I32(nWarps)), b.Sub(warpID, b.I32(1)))
+	dHs := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(shPrevPPH, parWm1b, 4))
+	b.Br("h_wjoin")
+
+	b.Block("h_shfl")
+	dHf := b.Shfl(st.prevPPH.Result(), b.Sub(lane, b.I32(1)))
+	b.Br("h_wjoin")
+
+	b.Block("h_wjoin")
+	dHw := b.Phi(ir.I32, ir.Incoming{Block: "h_sh", Val: dHs}, ir.Incoming{Block: "h_shfl", Val: dHf})
+	b.Br("h_join")
+
+	b.Block("h_join")
+	dH := b.Phi(ir.I32, ir.Incoming{Block: "h_local", Val: dHl}, ir.Incoming{Block: "h_wjoin", Val: dHw.Result()})
+
+	// ---- scoring ----
+	b.At(srcV1Score)
+	var refAddr ir.Operand
+	if !reverse {
+		refAddr = b.GlobalIdx(p.ref, b.Add(refOff, i), 1)
+	} else {
+		refAddr = b.GlobalIdx(p.ref, b.Add(refOff, b.Sub(refEnd, i)), 1)
+	}
+	refC := b.Load(ir.I8, ir.SpaceGlobal, refAddr)
+	newH, newE, newF, nBest, nBestI := emitDPCore(b, p, st, i, lE.Result(), lH.Result(), dH.Result(), refC, myQ)
+	b.Br("skip")
+
+	b.Block("skip")
+	nH := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: newH}, ir.Incoming{Block: "after_local", Val: st.prevH.Result()})
+	nPPH := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: st.prevH.Result()}, ir.Incoming{Block: "after_local", Val: st.prevPPH.Result()})
+	nE := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: newE}, ir.Incoming{Block: "after_local", Val: st.prevE.Result()})
+	nF := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: newF}, ir.Incoming{Block: "after_local", Val: st.prevF.Result()})
+	nB := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: nBest}, ir.Incoming{Block: "after_local", Val: st.best.Result()})
+	nBI := b.Phi(ir.I32, ir.Incoming{Block: "h_join", Val: nBestI}, ir.Incoming{Block: "after_local", Val: st.bestI.Result()})
+	b.At(srcV1Latch)
+	d1 := b.Add(d, b.I32(1))
+	moreD := b.ICmp(ir.PredLT, d1, totalD)
+	b.CondBr(moreD, "loop_head", "finish")
+	b.AddIncoming(st.d, "entry", b.I32(0))
+	b.AddIncoming(st.d, "skip", d1)
+	b.AddIncoming(st.prevH, "entry", b.I32(0))
+	b.AddIncoming(st.prevH, "skip", nH.Result())
+	b.AddIncoming(st.prevPPH, "entry", b.I32(0))
+	b.AddIncoming(st.prevPPH, "skip", nPPH.Result())
+	b.AddIncoming(st.prevE, "entry", b.I32(0))
+	b.AddIncoming(st.prevE, "skip", nE.Result())
+	b.AddIncoming(st.prevF, "entry", b.I32(negInf))
+	b.AddIncoming(st.prevF, "skip", nF.Result())
+	b.AddIncoming(st.best, "entry", b.I32(0))
+	b.AddIncoming(st.best, "skip", nB.Result())
+	b.AddIncoming(st.bestI, "entry", b.I32(-1))
+	b.AddIncoming(st.bestI, "skip", nBI.Result())
+
+	b.Block("finish")
+	b.At(srcV1Reduce)
+	bestF := b.Phi(ir.I32, ir.Incoming{Block: "entry", Val: b.I32(0)}, ir.Incoming{Block: "skip", Val: nB.Result()})
+	bestIF := b.Phi(ir.I32, ir.Incoming{Block: "entry", Val: b.I32(-1)}, ir.Incoming{Block: "skip", Val: nBI.Result()})
+	emitReduction(b, p, redScore, redI, qLen, bestF.Result(), bestIF.Result(), reverse, refEnd, qEnd)
+	return b.Finish()
+}
+
+// EditSiteUIDs locates the canonical Figure 9 edit-site instructions in a V1
+// kernel by source line, returning UIDs keyed by a descriptive name. The
+// replay machinery and the analysis examples use this to construct the
+// paper's epistatic edit set without hard-coding UIDs.
+func EditSiteUIDs(f *ir.Function) map[string]int {
+	sites := map[string]int{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch {
+			case in.Loc == srcV1Edit5 && in.Op == ir.OpICmp:
+				sites["lane31cmp"] = in.UID
+			case in.Loc == srcV1Edit6 && in.Op == ir.OpCondBr:
+				sites["tailStoreBr"] = in.UID
+			case in.Loc == srcV1Edit8 && in.Op == ir.OpCondBr:
+				sites["eExchBr"] = in.UID
+			case in.Loc == srcV1Edit10 && in.Op == ir.OpCondBr:
+				sites["hExchBr"] = in.UID
+			case in.Loc == srcV1Head && in.Op == ir.OpICmp && in.Pred == ir.PredLT &&
+				in.Args[0].Kind == ir.OperSpecial && ir.Special(in.Args[0].Index) == ir.SpecialTID:
+				// tid < qLen (minSize) — the replacement value of edit 6.
+				sites["tidLtQ"] = in.UID
+			case in.Loc == srcV1Head && in.Op == ir.OpAnd && in.Typ == ir.I1 &&
+				in.Args[1].Kind == ir.OperInstr && in.Args[1].Ref == sites["tidLtQ"]:
+				// guard = isValid && tidLtQ — the replacement value of
+				// edits 8/10 (always true inside the compute region).
+				sites["guard"] = in.UID
+			case in.Loc == srcV1WarpSync && in.Op == ir.OpBallot:
+				sites["ballot"] = in.UID
+			case in.Loc == srcV1WarpSync && in.Op == ir.OpActiveMask:
+				sites["activemask"] = in.UID
+			case in.Loc == srcV1WarpSync && in.Op == ir.OpStore:
+				sites["defensiveStore"] = in.UID
+			case in.Loc == srcV1Edit6 && in.Op == ir.OpLoad:
+				sites["deadLoad"] = in.UID
+			}
+		}
+	}
+	return sites
+}
+
+// V0EditSiteUIDs locates the canonical Section VI-C edit sites in the V0
+// kernel: the memset loop back-edge and the in-loop barrier.
+func V0EditSiteUIDs(f *ir.Function) map[string]int {
+	sites := map[string]int{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch {
+			case (in.Loc == srcV0Memset || in.Loc == srcV0MemsetSync) && in.Op == ir.OpCondBr:
+				sites["memsetBr"] = in.UID
+			case in.Loc == srcV0MemsetSync && in.Op == ir.OpBarrier:
+				sites["memsetSync"] = in.UID
+			}
+		}
+	}
+	return sites
+}
+
+// Pseudo-source line anchors. The listings returned by adeptSource mirror the
+// paper's Figure 9 so discovered edits can be displayed against source, the
+// way the paper's instrumented Clang pipeline does.
+const (
+	srcV0Entry      = 2
+	srcV0Memset     = 6
+	srcV0MemsetSync = 8
+	srcV0Store      = 11
+	srcV0Compute    = 16
+	srcV0Latch      = 24
+	srcV0Reduce     = 26
+
+	srcV1Entry      = 2
+	srcV1Head       = 5
+	srcV1Edit5      = 8
+	srcV1StoreSh    = 9
+	srcV1Edit6      = 13
+	srcV1StoreLocal = 14
+	srcV1Sync       = 17
+	srcV1WarpSync   = 20
+	srcV1Edit8      = 22
+	srcV1ELocal     = 23
+	srcV1EWarp      = 25
+	srcV1EShfl      = 28
+	srcV1Edit10     = 31
+	srcV1HLocal     = 32
+	srcV1HWarp      = 34
+	srcV1Score      = 38
+	srcV1Latch      = 44
+	srcV1Reduce     = 47
+)
+
+func adeptSource(v ADEPTVersion) []string {
+	if v == ADEPTV0 {
+		return []string{
+			/*  1 */ "__global__ void sw_forward(...) {            // ADEPT-V0",
+			/*  2 */ "  int tid = threadIdx.x;  // one thread per query column",
+			/*  3 */ "  // per-pair metadata loads",
+			/*  4 */ "  for (int diag = 0; diag < totalDiags; diag++) {",
+			/*  5 */ "    // (re)initialize the shared exchange arrays, one element",
+			/*  6 */ "    for (int k = 0; k < qLen; k++) {         // every thread, same region",
+			/*  7 */ "      sh_E[k] = 0; sh_H[k] = 0; sh_PPH[k] = 0;",
+			/*  8 */ "      __syncthreads();                       // ... and a barrier per element",
+			/*  9 */ "    }",
+			/* 10 */ "    // publish previous-diagonal values",
+			/* 11 */ "    sh_E[tid] = _prev_E; sh_H[tid] = _prev_H; sh_PPH[tid] = _prev_prev_H;",
+			/* 12 */ "    __syncthreads();",
+			/* 13 */ "    if (is_valid[tid] && tid < minSize) {",
+			/* 14 */ "      // read left neighbour from shared memory",
+			/* 15 */ "      eLeft = sh_E[tid-1]; hLeft = sh_H[tid-1]; diagH = sh_PPH[tid-1];",
+			/* 16 */ "      char r = ref[refOff + i], q = query[qOff + tid];  // global, every diagonal",
+			/* 17 */ "      eVal = max(eLeft - extendGap, hLeft - startGap);",
+			/* 18 */ "      fVal = max(_prev_F - extendGap, _prev_H - startGap);",
+			/* 19 */ "      H = max(0, max(diagH + score(r,q), max(eVal, fVal)));",
+			/* 20 */ "      // track column best",
+			/* 21 */ "    }",
+			/* 22 */ "    // rotate wavefront registers",
+			/* 23 */ "    _prev_prev_H = _prev_H; _prev_H = H; _prev_E = eVal; _prev_F = fVal;",
+			/* 24 */ "    __syncthreads();",
+			/* 25 */ "  }",
+			/* 26 */ "  // block reduction: thread 0 scans column bests, writes result",
+			/* 27 */ "}",
+		}
+	}
+	return []string{
+		/*  1 */ "__global__ void sw_forward(...) {              // ADEPT-V1 (hand-tuned)",
+		/*  2 */ "  int tid = threadIdx.x, laneId = tid % 32, warpId = tid / 32;",
+		/*  3 */ "  char q = query[qOff + tid];                  // hoisted",
+		/*  4 */ "  for (int diag = 0; diag < totalDiags; diag++) {",
+		/*  5 */ "    bool valid = (0 <= diag-tid) && (diag-tid < refLen) && tid < minSize;",
+		/*  6 */ "    int parity = diag & 1;",
+		/*  7 */ "    // publish for the next warp's lane 0",
+		/*  8 */ "    if (laneId == 31) {                        // edit 5: laneId == 0",
+		/*  9 */ "      sh_prev_E[parity][warpId] = _prev_E;",
+		/* 10 */ "      sh_prev_H[parity][warpId] = _prev_H;",
+		/* 11 */ "      sh_prev_prev_H[parity][warpId] = _prev_prev_H; }",
+		/* 12 */ "    // tail-phase spill of per-thread values",
+		/* 13 */ "    if (diag >= maxSize) {                     // edit 6: tid < minSize",
+		/* 14 */ "      local_prev_E[parity][tid] = _prev_E;",
+		/* 15 */ "      local_prev_H[parity][tid] = _prev_H;",
+		/* 16 */ "      local_prev_prev_H[parity][tid] = _prev_prev_H; }",
+		/* 17 */ "    __syncthreads();",
+		/* 18 */ "    if (valid) {",
+		/* 19 */ "      // conservative warp-sync before register exchange (Sec VI-B)",
+		/* 20 */ "      unsigned m = __activemask(); __ballot_sync(m, 1);",
+		/* 21 */ "      // E/H from the left neighbour",
+		/* 22 */ "      if (diag >= maxSize) {                   // edit 8: valid",
+		/* 23 */ "        eLeft = local_prev_E[parity][tid-1]; hLeft = local_prev_H[parity][tid-1];",
+		/* 24 */ "      } else {",
+		/* 25 */ "        if (warpId != 0 && laneId == 0) {",
+		/* 26 */ "          eLeft = sh_prev_E[parity][warpId-1]; hLeft = sh_prev_H[parity][warpId-1];",
+		/* 27 */ "        } else {                               // private registers",
+		/* 28 */ "          eLeft = __shfl_sync(FULL, _prev_E, laneId-1);",
+		/* 29 */ "          hLeft = __shfl_sync(FULL, _prev_H, laneId-1); } }",
+		/* 30 */ "      // diagonal H from the left neighbour",
+		/* 31 */ "      if (diag >= maxSize)                     // edit 10: valid",
+		/* 32 */ "        diagH = local_prev_prev_H[parity][tid-1];",
+		/* 33 */ "      else {",
+		/* 34 */ "        if (warpId != 0 && laneId == 0)",
+		/* 35 */ "          diagH = sh_prev_prev_H[parity][warpId-1];",
+		/* 36 */ "        else",
+		/* 37 */ "          diagH = __shfl_sync(FULL, _prev_prev_H, laneId-1); }",
+		/* 38 */ "      char r = ref[refOff + (diag - tid)];",
+		/* 39 */ "      eVal = max(eLeft - extendGap, hLeft - startGap);",
+		/* 40 */ "      fVal = max(_prev_F - extendGap, _prev_H - startGap);",
+		/* 41 */ "      H = max(0, max(diagH + score(r,q), max(eVal, fVal)));",
+		/* 42 */ "    }",
+		/* 43 */ "    // rotate wavefront registers",
+		/* 44 */ "    _prev_prev_H = _prev_H; _prev_H = H; _prev_E = eVal; _prev_F = fVal;",
+		/* 45 */ "  }",
+		/* 46 */ "  // block reduction: thread 0 scans column bests, writes result",
+		/* 47 */ "}",
+	}
+}
+
+// NumWarps returns the warp count for a given block size.
+func NumWarps(block int) int { return (block + 31) / 32 }
+
+// BlockForQuery returns the thread-block size for a maximum query length:
+// the query length rounded up to a warp multiple, capped at MaxSeqThreads.
+func BlockForQuery(maxQLen int) (int, error) {
+	if maxQLen <= 0 || maxQLen > MaxSeqThreads {
+		return 0, fmt.Errorf("kernels: query length %d out of range (1..%d)", maxQLen, MaxSeqThreads)
+	}
+	return NumWarps(maxQLen) * 32, nil
+}

@@ -1,0 +1,577 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gevo/internal/ir"
+)
+
+// SIMCoV GPU kernels (Section II-C): the initial GPU port of the multi-core
+// CPU implementation — one thread per grid point, eight kernels. The
+// diffusion kernels carry the per-neighbour boundary checks of Section VI-D
+// (Figure 10a); SIMCoVModule(padded=true) builds the zero-padded variant of
+// Figure 10c, which needs no checks.
+//
+// Kernel launch order per simulation step (the host in internal/workload
+// mirrors internal/simcov.Model.StepOnce):
+//
+//	cov_spawn, cov_move, cov_epi, cov_vdiffuse, cov_cdiffuse,
+//	cov_vupdate, cov_cupdate, cov_stats
+
+// CovBlock is the thread-block size for the per-cell SIMCoV kernels.
+const CovBlock = 128
+
+// CovStatsBlock is the single-block size of the stats reduction kernel.
+const CovStatsBlock = 256
+
+// NumStats is the number of int64 counters the stats kernel accumulates.
+const NumStats = 8
+
+// Pseudo-source anchors for SIMCoV (indexes into the module Source listing).
+const (
+	srcCovGuard    = 2
+	srcCovBoundary = 5 // all boundary comparison/branch logic (Fig 10a)
+	srcCovGather   = 7 // neighbour loads + accumulation
+	srcCovWriting  = 10
+	srcCovMoveBnd  = 14
+	srcCovRng      = 17
+)
+
+func covSource() []string {
+	return []string{
+		/*  1 */ "__global__ void diffuse(double* src, double* dst, int W, int H, double D) {",
+		/*  2 */ "  int idx = blockIdx.x*blockDim.x + threadIdx.x; if (idx >= W*H) return;",
+		/*  3 */ "  int x = idx % W, y = idx / W; double acc = 0;",
+		/*  4 */ "  for (int k = 0; k < 8; k++) {   // unrolled in the kernel",
+		/*  5 */ "    int nx = x+dx[k], ny = y+dy[k];",
+		/*  6 */ "    if (nx >= 0 && nx < W && ny >= 0 && ny < H)   // boundary check (Fig 10a)",
+		/*  7 */ "      acc += src[ny*W + nx];",
+		/*  8 */ "  }",
+		/*  9 */ "  dst[idx] = src[idx]*(1-D) + acc*D/8;",
+		/* 10 */ "}",
+		/* 11 */ "",
+		/* 12 */ "__global__ void tcell_move(int* cur, int* next, uint64* rng, int W, int H) {",
+		/* 13 */ "  // random walk; claims resolved with atomicCAS (Sec II-C race)",
+		/* 14 */ "  int nx = x+dx, ny = y+dy; bool ok = nx>=0 && nx<W && ny>=0 && ny<H;",
+		/* 15 */ "  int target = ok ? ny*W+nx : idx;",
+		/* 16 */ "",
+		/* 17 */ "  // xorshift64 per-cell streams",
+		/* 18 */ "}",
+	}
+}
+
+// covMoveDeltas mirrors simcov.moveDeltas; the diffusion neighbourhood uses
+// the same order.
+var covMoveDeltas = [8][2]int64{
+	{-1, -1}, {0, -1}, {1, -1},
+	{-1, 0}, {1, 0},
+	{-1, 1}, {0, 1}, {1, 1},
+}
+
+// SIMCoVModule builds all eight kernels. With padded=true the concentration
+// grids (virions, chemokine and their next-step buffers) use a (W+2)x(H+2)
+// zero-bordered layout and the diffusion kernels perform no boundary checks
+// (Figure 10c).
+func SIMCoVModule(padded bool) *ir.Module {
+	name := "SIMCoV"
+	if padded {
+		name = "SIMCoV-padded"
+	}
+	m := &ir.Module{Name: name, Source: covSource()}
+	m.Funcs = append(m.Funcs,
+		buildCovSpawn(padded),
+		buildCovMove(),
+		buildCovEpi(padded),
+		buildCovDiffuse("cov_vdiffuse", padded),
+		buildCovDiffuse("cov_cdiffuse", padded),
+		buildCovGridUpdate("cov_vupdate", padded),
+		buildCovGridUpdate("cov_cupdate", padded),
+		buildCovStats(padded),
+	)
+	return m
+}
+
+// covCommon emits the per-cell kernel prologue: idx and bounds guard.
+// Following blocks: "body" (current) and "exit" (ret, already terminated).
+func covCommon(b *ir.Builder, w, h ir.Operand) (idx ir.Operand) {
+	b.Block("entry")
+	b.At(srcCovGuard)
+	bid := b.Special(ir.SpecialBID)
+	bdim := b.Special(ir.SpecialBDim)
+	tid := b.Special(ir.SpecialTID)
+	idx = b.Add(b.Mul(bid, bdim), tid)
+	n := b.Mul(w, h)
+	inb := b.ICmp(ir.PredLT, idx, n)
+	b.CondBr(inb, "body", "exit")
+
+	b.Block("exit")
+	b.Ret()
+
+	b.Block("body")
+	return idx
+}
+
+// covXY decomposes a linear cell index into coordinates (integer div/rem —
+// expensive on real GPUs, hence only emitted where needed).
+func covXY(b *ir.Builder, idx, w ir.Operand) (x, y ir.Operand) {
+	return b.SRem(idx, w), b.SDiv(idx, w)
+}
+
+// covAddr resolves concentration-grid addresses for one kernel, computing
+// the coordinate decomposition at most once (padded layouts need it; the
+// unpadded layout addresses linearly).
+type covAddr struct {
+	idx, w ir.Operand
+	padded bool
+	x, y   ir.Operand
+	has    bool
+}
+
+func newCovAddr(idx, w ir.Operand, padded bool) *covAddr {
+	return &covAddr{idx: idx, w: w, padded: padded}
+}
+
+// f64 returns the address of cell idx in a concentration grid based at base.
+// For padded layouts the div/rem decomposition is emitted once, in the block
+// that first needs it (which must dominate later uses).
+func (a *covAddr) f64(b *ir.Builder, base ir.Operand) ir.Operand {
+	if !a.padded {
+		return b.GlobalIdx(base, a.idx, 8)
+	}
+	if !a.has {
+		a.x, a.y = covXY(b, a.idx, a.w)
+		a.has = true
+	}
+	return covF64AddrXY(b, base, a.x, a.y, a.w, true)
+}
+
+// covF64AddrXY returns the address of concentration-grid cell (x,y).
+func covF64AddrXY(b *ir.Builder, base, x, y, w ir.Operand, padded bool) ir.Operand {
+	if !padded {
+		return b.GlobalIdx(base, b.Add(b.Mul(y, w), x), 8)
+	}
+	stride := b.Add(w, b.I32(2))
+	px := b.Add(x, b.I32(1))
+	py := b.Add(y, b.I32(1))
+	return b.GlobalIdx(base, b.Add(b.Mul(py, stride), px), 8)
+}
+
+// emitXorshift advances the cell's xorshift64 stream in place and returns
+// the new state (matching simcov.XorShift bit for bit).
+func emitXorshift(b *ir.Builder, rngBase, idx ir.Operand) ir.Operand {
+	b.At(srcCovRng)
+	addr := b.GlobalIdx(rngBase, idx, 8)
+	s := b.Load(ir.I64, ir.SpaceGlobal, addr)
+	s1 := b.Xor(s, b.Shl(s, b.I64(13)))
+	s2 := b.Xor(s1, b.LShr(s1, b.I64(7)))
+	s3 := b.Xor(s2, b.Shl(s2, b.I64(17)))
+	b.Store(ir.SpaceGlobal, s3, addr)
+	return s3
+}
+
+// emitRand01 maps an RNG state to [0,1), matching simcov.Rand01.
+func emitRand01(b *ir.Builder, s ir.Operand) ir.Operand {
+	return b.FMul(b.SIToFP(b.LShr(s, b.I64(11))), ir.ConstFloat(1.0/(1<<53)))
+}
+
+// buildCovSpawn: T cells extravasate onto signalled, unoccupied cells.
+func buildCovSpawn(padded bool) *ir.Function {
+	b := ir.NewBuilder("cov_spawn")
+	chem := b.Param("chem", ir.I64)
+	tcell := b.Param("tcell", ir.I64)
+	rng := b.Param("rng", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+	minChem := b.Param("min_chem", ir.F64)
+	rate := b.Param("rate", ir.F64)
+	life := b.Param("life", ir.I32)
+
+	idx := covCommon(b, w, h)
+	addr := newCovAddr(idx, w, padded)
+	c := b.Load(ir.F64, ir.SpaceGlobal, addr.f64(b, chem))
+	tAddr := b.GlobalIdx(tcell, idx, 4)
+	t := b.Load(ir.I32, ir.SpaceGlobal, tAddr)
+	signalled := b.FCmp(ir.PredGT, c, minChem)
+	empty := b.ICmp(ir.PredEQ, t, b.I32(0))
+	eligible := b.And(signalled, empty)
+	b.CondBr(eligible, "roll", "exit")
+
+	b.Block("roll")
+	s := emitXorshift(b, rng, idx)
+	r := emitRand01(b, s)
+	hit := b.FCmp(ir.PredLT, r, rate)
+	b.CondBr(hit, "place", "exit")
+
+	b.Block("place")
+	b.Store(ir.SpaceGlobal, life, tAddr)
+	b.Br("exit")
+	return b.Finish()
+}
+
+// buildCovMove: each T cell random-walks; the target cell in the
+// next-generation grid is claimed with atomicCAS (first claim wins, the
+// Section II-C race resolved by the scheduler's deterministic order).
+func buildCovMove() *ir.Function {
+	b := ir.NewBuilder("cov_move")
+	cur := b.Param("tcell_cur", ir.I64)
+	next := b.Param("tcell_next", ir.I64)
+	rng := b.Param("rng", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+
+	idx := covCommon(b, w, h)
+	t := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(cur, idx, 4))
+	alive := b.ICmp(ir.PredNE, t, b.I32(0))
+	b.CondBr(alive, "tick", "exit")
+
+	b.Block("tick")
+	life := b.Sub(t, b.I32(1))
+	s := emitXorshift(b, rng, idx)
+	survives := b.ICmp(ir.PredGT, life, b.I32(0))
+	b.CondBr(survives, "walk", "exit")
+
+	b.Block("walk")
+	b.At(srcCovMoveBnd)
+	x, y := covXY(b, idx, w)
+	dir := b.Trunc(ir.I32, b.And(s, b.I64(7)))
+	dx := selectChain(b, dir, [8]int64{-1, 0, 1, -1, 1, -1, 0, 1})
+	dy := selectChain(b, dir, [8]int64{-1, -1, -1, 0, 0, 1, 1, 1})
+	nx := b.Add(x, dx)
+	ny := b.Add(y, dy)
+	okx := b.And(b.ICmp(ir.PredGE, nx, b.I32(0)), b.ICmp(ir.PredLT, nx, w))
+	oky := b.And(b.ICmp(ir.PredGE, ny, b.I32(0)), b.ICmp(ir.PredLT, ny, h))
+	ok := b.And(okx, oky)
+	nidx := b.Add(b.Mul(ny, w), nx)
+	target := b.Select(ok, nidx, idx)
+	// Claim the target; on conflict, stay in place if our own cell is free.
+	old := b.AtomicCAS(ir.SpaceGlobal, b.GlobalIdx(next, target, 4), b.I32(0), life)
+	won := b.ICmp(ir.PredEQ, old, b.I32(0))
+	b.CondBr(won, "exit", "stay")
+
+	b.Block("stay")
+	b.AtomicCAS(ir.SpaceGlobal, b.GlobalIdx(next, idx, 4), b.I32(0), life)
+	b.Br("exit")
+	return b.Finish()
+}
+
+// selectChain maps dir in [0,8) to table[dir] with a chain of selects.
+func selectChain(b *ir.Builder, dir ir.Operand, table [8]int64) ir.Operand {
+	out := b.I32(table[7])
+	for k := 6; k >= 0; k-- {
+		out = b.Select(b.ICmp(ir.PredEQ, dir, b.I32(int64(k))), b.I32(table[k]), out)
+	}
+	return out
+}
+
+// buildCovEpi: the epithelial state machine (healthy → incubating →
+// expressing → dead; T-cell binding → apoptotic → dead).
+func buildCovEpi(padded bool) *ir.Function {
+	b := ir.NewBuilder("cov_epi")
+	state := b.Param("state", ir.I64)
+	timer := b.Param("timer", ir.I64)
+	virions := b.Param("virions", ir.I64)
+	tcell := b.Param("tcell", ir.I64)
+	rng := b.Param("rng", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+	infectivity := b.Param("infectivity", ir.F64)
+	incub := b.Param("incubation", ir.I32)
+	expr := b.Param("expressing", ir.I32)
+	apop := b.Param("apoptosis", ir.I32)
+
+	idx := covCommon(b, w, h)
+	addr := newCovAddr(idx, w, padded)
+	stAddr := b.GlobalIdx(state, idx, 1)
+	st := b.Load(ir.I8, ir.SpaceGlobal, stAddr)
+	tmAddr := b.GlobalIdx(timer, idx, 4)
+
+	isHealthy := b.ICmp(ir.PredEQ, st, b.I8(0))
+	b.CondBr(isHealthy, "healthy", "not_healthy")
+
+	b.Block("healthy")
+	v := b.Load(ir.F64, ir.SpaceGlobal, addr.f64(b, virions))
+	hasV := b.FCmp(ir.PredGT, v, ir.ConstFloat(0))
+	b.CondBr(hasV, "infect_roll", "exit")
+
+	b.Block("infect_roll")
+	s := emitXorshift(b, rng, idx)
+	r := emitRand01(b, s)
+	p := b.FMul(v, infectivity)
+	pc := b.FMin(p, ir.ConstFloat(1))
+	hit := b.FCmp(ir.PredLT, r, pc)
+	b.CondBr(hit, "infect", "exit")
+
+	b.Block("infect")
+	b.Store(ir.SpaceGlobal, b.I8(1), stAddr)
+	b.Store(ir.SpaceGlobal, incub, tmAddr)
+	b.Br("exit")
+
+	b.Block("not_healthy")
+	isIncub := b.ICmp(ir.PredEQ, st, b.I8(1))
+	b.CondBr(isIncub, "incub", "not_incub")
+
+	b.Block("incub")
+	tc := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(tcell, idx, 4))
+	bound := b.ICmp(ir.PredNE, tc, b.I32(0))
+	b.CondBr(bound, "to_apop", "incub_tick")
+
+	b.Block("incub_tick")
+	t1 := b.Sub(b.Load(ir.I32, ir.SpaceGlobal, tmAddr), b.I32(1))
+	b.Store(ir.SpaceGlobal, t1, tmAddr)
+	done := b.ICmp(ir.PredLE, t1, b.I32(0))
+	b.CondBr(done, "to_expr", "exit")
+
+	b.Block("to_expr")
+	b.Store(ir.SpaceGlobal, b.I8(2), stAddr)
+	b.Store(ir.SpaceGlobal, expr, tmAddr)
+	b.Br("exit")
+
+	b.Block("not_incub")
+	isExpr := b.ICmp(ir.PredEQ, st, b.I8(2))
+	b.CondBr(isExpr, "expr", "not_expr")
+
+	b.Block("expr")
+	tc2 := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(tcell, idx, 4))
+	bound2 := b.ICmp(ir.PredNE, tc2, b.I32(0))
+	b.CondBr(bound2, "to_apop", "expr_tick")
+
+	b.Block("expr_tick")
+	t2 := b.Sub(b.Load(ir.I32, ir.SpaceGlobal, tmAddr), b.I32(1))
+	b.Store(ir.SpaceGlobal, t2, tmAddr)
+	done2 := b.ICmp(ir.PredLE, t2, b.I32(0))
+	b.CondBr(done2, "to_dead", "exit")
+
+	b.Block("not_expr")
+	isApop := b.ICmp(ir.PredEQ, st, b.I8(3))
+	b.CondBr(isApop, "apop_tick", "exit")
+
+	b.Block("apop_tick")
+	t3 := b.Sub(b.Load(ir.I32, ir.SpaceGlobal, tmAddr), b.I32(1))
+	b.Store(ir.SpaceGlobal, t3, tmAddr)
+	done3 := b.ICmp(ir.PredLE, t3, b.I32(0))
+	b.CondBr(done3, "to_dead", "exit")
+
+	b.Block("to_apop")
+	b.Store(ir.SpaceGlobal, b.I8(3), stAddr)
+	b.Store(ir.SpaceGlobal, apop, tmAddr)
+	b.Br("exit")
+
+	b.Block("to_dead")
+	b.Store(ir.SpaceGlobal, b.I8(4), stAddr)
+	b.Br("exit")
+	return b.Finish()
+}
+
+// buildCovDiffuse: the 9-point diffusion stencil. Unpadded layouts guard
+// every neighbour access with the Figure 10a boundary check — these eight
+// conditional branches are the Section VI-D edit sites. Padded layouts load
+// unconditionally from the zero-bordered grid.
+func buildCovDiffuse(name string, padded bool) *ir.Function {
+	b := ir.NewBuilder(name)
+	src := b.Param("src", ir.I64)
+	dst := b.Param("dst", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+	d := b.Param("D", ir.F64)
+
+	idx := covCommon(b, w, h)
+	addr := newCovAddr(idx, w, padded)
+	own := b.Load(ir.F64, ir.SpaceGlobal, addr.f64(b, src))
+
+	acc := ir.ConstFloat(0)
+	if padded {
+		// The padded variant (written after the search exposed the hot
+		// spot, Fig 10c) hoists the coordinate decomposition and loads the
+		// zero-bordered neighbourhood unconditionally.
+		b.At(srcCovGather)
+		x, y := addr.x, addr.y
+		stride := b.Add(w, b.I32(2))
+		for _, dl := range covMoveDeltas {
+			px := b.Add(x, b.I32(1+dl[0]))
+			py := b.Add(y, b.I32(1+dl[1]))
+			v := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(src, b.Add(b.Mul(py, stride), px), 8))
+			acc = b.FAdd(acc, v)
+		}
+	} else {
+		// The original port guards every neighbour with the Figure 10a
+		// boundary check — and, as mechanically ported loop bodies do,
+		// recomputes the cell coordinates with integer div/rem for each
+		// neighbour. This is the "31% of kernel instructions performing
+		// boundary logic" of Section VI-D: deleting a check branch makes
+		// the whole comparison chain dead, and backend DCE removes it.
+		cur := "body"
+		for k, dl := range covMoveDeltas {
+			b.Block(cur) // re-enter current block
+			b.At(srcCovBoundary)
+			// The guarded load addresses the neighbour linearly
+			// (idx + dy*W + dx); the boundary check needs the coordinate
+			// decomposition, recomputed per neighbour with integer div/rem
+			// as the mechanical port wrote it. Deleting the check branch
+			// makes the whole comparison chain — div/rem included — dead.
+			nx := b.Add(b.SRem(idx, w), b.I32(dl[0]))
+			ny := b.Add(b.SDiv(idx, w), b.I32(dl[1]))
+			okx := b.And(b.ICmp(ir.PredGE, nx, b.I32(0)), b.ICmp(ir.PredLT, nx, w))
+			oky := b.And(b.ICmp(ir.PredGE, ny, b.I32(0)), b.ICmp(ir.PredLT, ny, h))
+			ok := b.And(okx, oky)
+			nb := fmt.Sprintf("nb%d", k)
+			nbSkip := fmt.Sprintf("chk%d", k+1)
+			b.CondBr(ok, nb, nbSkip) // Section VI-D edit site
+
+			b.Block(nb)
+			b.At(srcCovGather)
+			nidx := b.Add(idx, b.Add(b.Mul(b.I32(dl[1]), w), b.I32(dl[0])))
+			v := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(src, nidx, 8))
+			accIn := b.FAdd(acc, v)
+			b.Br(nbSkip)
+
+			b.Block(nbSkip)
+			phi := b.Phi(ir.F64, ir.Incoming{Block: cur, Val: acc}, ir.Incoming{Block: nb, Val: accIn})
+			acc = phi.Result()
+			cur = nbSkip
+		}
+	}
+
+	b.At(srcCovWriting)
+	kept := b.FMul(own, b.FSub(ir.ConstFloat(1), d))
+	spread := b.FMul(acc, b.FDiv(d, ir.ConstFloat(8)))
+	res := b.FAdd(kept, spread)
+	b.Store(ir.SpaceGlobal, res, addr.f64(b, dst))
+	b.Br("exit")
+	return b.Finish()
+}
+
+// buildCovGridUpdate: decay + production writeback (virions from expressing
+// cells; chemokine from expressing and apoptotic cells — selected by name).
+func buildCovGridUpdate(name string, padded bool) *ir.Function {
+	b := ir.NewBuilder(name)
+	grid := b.Param("grid", ir.I64)
+	nextG := b.Param("next", ir.I64)
+	state := b.Param("state", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+	decay := b.Param("decay", ir.F64)
+	prod := b.Param("production", ir.F64)
+
+	idx := covCommon(b, w, h)
+	addr := newCovAddr(idx, w, padded)
+	v := b.Load(ir.F64, ir.SpaceGlobal, addr.f64(b, nextG))
+	decayed := b.FMul(v, b.FSub(ir.ConstFloat(1), decay))
+	st := b.Load(ir.I8, ir.SpaceGlobal, b.GlobalIdx(state, idx, 1))
+	var producing ir.Operand
+	if name == "cov_vupdate" {
+		producing = b.ICmp(ir.PredEQ, st, b.I8(2))
+	} else {
+		isExpr := b.ICmp(ir.PredEQ, st, b.I8(2))
+		isApop := b.ICmp(ir.PredEQ, st, b.I8(3))
+		producing = b.Or(isExpr, isApop)
+	}
+	add := b.Select(producing, prod, ir.ConstFloat(0))
+	sum := b.FAdd(decayed, add)
+	// Flush tiny residue to zero, as the reference model does.
+	tiny := b.FCmp(ir.PredLT, sum, ir.ConstFloat(1e-9))
+	res := b.Select(tiny, ir.ConstFloat(0), sum)
+	b.Store(ir.SpaceGlobal, res, addr.f64(b, grid))
+	b.Br("exit")
+	return b.Finish()
+}
+
+// buildCovStats: a single-block grid-stride reduction accumulating the eight
+// Stats counters with global atomics (integer fixed-point for the float
+// totals, so CPU/GPU totals agree exactly).
+func buildCovStats(padded bool) *ir.Function {
+	b := ir.NewBuilder("cov_stats")
+	state := b.Param("state", ir.I64)
+	tcell := b.Param("tcell", ir.I64)
+	virions := b.Param("virions", ir.I64)
+	chem := b.Param("chem", ir.I64)
+	w := b.Param("W", ir.I32)
+	h := b.Param("H", ir.I32)
+	stats := b.Param("stats", ir.I64)
+
+	b.Block("entry")
+	tid := b.Special(ir.SpecialTID)
+	n := b.Mul(w, h)
+	b.Br("loop")
+
+	b.Block("loop")
+	iPhi := b.Phi(ir.I32)
+	accs := make([]*ir.Instr, NumStats)
+	for k := range accs {
+		accs[k] = b.Phi(ir.I64)
+	}
+	i := iPhi.Result()
+	inb := b.ICmp(ir.PredLT, i, n)
+	b.CondBr(inb, "acc", "done")
+
+	b.Block("acc")
+	st := b.Load(ir.I8, ir.SpaceGlobal, b.GlobalIdx(state, i, 1))
+	tc := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(tcell, i, 4))
+	iAddr := newCovAddr(i, w, padded)
+	v := b.Load(ir.F64, ir.SpaceGlobal, iAddr.f64(b, virions))
+	c := b.Load(ir.F64, ir.SpaceGlobal, iAddr.f64(b, chem))
+	newAccs := make([]ir.Operand, NumStats)
+	one := b.I64(1)
+	zero := b.I64(0)
+	for k := 0; k < 5; k++ {
+		is := b.ICmp(ir.PredEQ, st, b.I8(int64(k)))
+		newAccs[k] = b.Add(accs[k].Result(), b.Select(is, one, zero))
+	}
+	hasT := b.ICmp(ir.PredNE, tc, b.I32(0))
+	newAccs[5] = b.Add(accs[5].Result(), b.Select(hasT, one, zero))
+	newAccs[6] = b.Add(accs[6].Result(), b.FPToSI(ir.I64, b.FMul(v, ir.ConstFloat(1024))))
+	newAccs[7] = b.Add(accs[7].Result(), b.FPToSI(ir.I64, b.FMul(c, ir.ConstFloat(1024))))
+	i1 := b.Add(i, b.Special(ir.SpecialBDim))
+	b.Br("loop")
+
+	b.AddIncoming(iPhi, "entry", tid)
+	b.AddIncoming(iPhi, "acc", i1)
+	for k := range accs {
+		b.AddIncoming(accs[k], "entry", zero)
+		b.AddIncoming(accs[k], "acc", newAccs[k])
+	}
+
+	b.Block("done")
+	finals := make([]*ir.Instr, NumStats)
+	for k := range finals {
+		finals[k] = b.Phi(ir.I64, ir.Incoming{Block: "loop", Val: accs[k].Result()})
+	}
+	// Warp-level butterfly reduction (__shfl_xor_sync), then one atomic per
+	// counter from lane 0 — the standard pattern that avoids 32-way atomic
+	// contention.
+	lane := b.Special(ir.SpecialLane)
+	sums := make([]ir.Operand, NumStats)
+	for k := range finals {
+		v := finals[k].Result()
+		for off := int64(16); off >= 1; off /= 2 {
+			peer := b.Shfl(v, b.Xor(lane, b.I32(off)))
+			v = b.Add(v, peer)
+		}
+		sums[k] = v
+	}
+	isL0 := b.ICmp(ir.PredEQ, lane, b.I32(0))
+	b.CondBr(isL0, "commit", "fin")
+
+	b.Block("commit")
+	for k := range sums {
+		b.AtomicAdd(ir.SpaceGlobal, b.Add(stats, b.I64(int64(8*k))), sums[k])
+	}
+	b.Br("fin")
+
+	b.Block("fin")
+	b.Ret()
+	return b.Finish()
+}
+
+// DiffuseEditSites returns the UIDs of the eight boundary-check branches of
+// a diffusion kernel — the Section VI-D edit sites — in neighbour order.
+func DiffuseEditSites(f *ir.Function) []int {
+	var uids []int
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpCondBr && in.Loc == srcCovBoundary {
+				uids = append(uids, in.UID)
+			}
+		}
+	}
+	return uids
+}

@@ -1,0 +1,124 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collide %d/100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 17, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.47 || mean > 0.53 {
+		t.Errorf("mean %v far from 0.5", mean)
+	}
+}
+
+// TestPermIsPermutation (property-based): Perm returns each index once.
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		p := r.Perm(40)
+		seen := make([]bool, 40)
+		for _, v := range p {
+			if v < 0 || v >= 40 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children correlate: %d/100", same)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	r := New(8)
+	if r.Choose(0) != -1 {
+		t.Error("Choose(0) should be -1")
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.Choose(5); v < 0 || v >= 5 {
+			t.Fatalf("Choose(5) = %d", v)
+		}
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(11)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Errorf("Bool() balance off: %d/10000", trues)
+	}
+}

@@ -1,0 +1,442 @@
+// Package simcov implements the SIMCoV agent-based SARS-CoV-2 lung-infection
+// model (Moses et al., cited by the paper as its second workload) on the
+// CPU. It is the ground truth for the GPU kernels: the per-step functions
+// mirror the kernels operation for operation (including the index-ordered
+// resolution of T-cell movement conflicts), and the summary-statistic
+// machinery implements the paper's per-value mean/variance validation
+// (Section III-C).
+package simcov
+
+import "math"
+
+// Cell states of the epithelial state machine (Section II-C).
+const (
+	Healthy int8 = iota
+	Incubating
+	Expressing
+	Apoptotic
+	Dead
+)
+
+// Params holds the model parameters. The defaults are scaled versions of the
+// SIMCoV defaults chosen so that a small grid develops a full infection
+// trajectory (spread, immune response, decay) within a short run.
+type Params struct {
+	W, H int
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Steps is the number of simulation iterations.
+	Steps int
+
+	// Infection dynamics.
+	Infectivity      float64 // probability scale for virions infecting a cell
+	IncubationPeriod int32   // steps from infection to virion expression
+	ExpressingPeriod int32   // steps of virion production before death
+	ApoptosisPeriod  int32   // steps from T-cell binding to death
+	VirionProduction float64 // virions produced per expressing cell per step
+	VirionDecay      float64 // fraction of virions decaying per step
+	VirionDiffusion  float64 // fraction of virions diffusing per step
+
+	// Inflammatory signal dynamics.
+	ChemokineProduction float64
+	ChemokineDecay      float64
+	ChemokineDiffusion  float64
+	MinChemokine        float64 // threshold for T-cell extravasation
+
+	// T-cell dynamics.
+	TCellRate float64 // extravasation probability on signalled cells
+	TCellLife int32   // tissue T-cell lifespan in steps
+
+	// InitialInfections seeds this many virion point sources.
+	InitialInfections int
+}
+
+// DefaultParams returns the scaled default parameter set for a WxH grid.
+func DefaultParams(w, h int) Params {
+	return Params{
+		W: w, H: h, Seed: 1, Steps: 60,
+		Infectivity:      0.02,
+		IncubationPeriod: 5, ExpressingPeriod: 10, ApoptosisPeriod: 3,
+		VirionProduction: 1.1, VirionDecay: 0.1, VirionDiffusion: 0.45,
+		ChemokineProduction: 1.0, ChemokineDecay: 0.08, ChemokineDiffusion: 0.5,
+		MinChemokine: 0.05, TCellRate: 0.02, TCellLife: 12,
+		InitialInfections: 3,
+	}
+}
+
+// Model is the CPU SIMCoV simulation state.
+type Model struct {
+	P Params
+
+	EpiState []int8
+	EpiTimer []int32
+	Virions  []float64
+	VirNext  []float64
+	Chem     []float64
+	ChemNext []float64
+	TCell    []int32
+	TCellNxt []int32
+	Rng      []uint64
+
+	Step int
+}
+
+// New creates a model with the initial infections placed deterministically
+// from the seed.
+func New(p Params) *Model {
+	n := p.W * p.H
+	m := &Model{
+		P:        p,
+		EpiState: make([]int8, n),
+		EpiTimer: make([]int32, n),
+		Virions:  make([]float64, n),
+		VirNext:  make([]float64, n),
+		Chem:     make([]float64, n),
+		ChemNext: make([]float64, n),
+		TCell:    make([]int32, n),
+		TCellNxt: make([]int32, n),
+		Rng:      make([]uint64, n),
+	}
+	for i := range m.Rng {
+		// Per-cell xorshift64 streams, identical to the kernels: seeded by
+		// splitmix of (seed, index).
+		m.Rng[i] = SeedCell(p.Seed, i)
+	}
+	placeInfections(m)
+	return m
+}
+
+// SeedCell derives the per-cell RNG state exactly as the host does when
+// uploading the RNG buffer to the device.
+func SeedCell(seed uint64, idx int) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z = z ^ (z >> 31)
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return z
+}
+
+// XorShift advances an xorshift64 state; the kernels implement the identical
+// sequence in IR.
+func XorShift(s uint64) uint64 {
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	return s
+}
+
+// Rand01 maps a state to [0,1), matching the kernels' i64 arithmetic.
+func Rand01(s uint64) float64 {
+	return float64(s>>11) / (1 << 53)
+}
+
+func placeInfections(m *Model) {
+	s := SeedCell(m.P.Seed, 0x5eed)
+	for k := 0; k < m.P.InitialInfections; k++ {
+		s = XorShift(s)
+		x := int(s % uint64(m.P.W))
+		s = XorShift(s)
+		y := int(s % uint64(m.P.H))
+		m.Virions[y*m.P.W+x] += 4.0
+	}
+}
+
+// InitialVirions recomputes the initial virion placement for host upload.
+func InitialVirions(p Params) []float64 {
+	m := &Model{P: p, Virions: make([]float64, p.W*p.H)}
+	placeInfections(m)
+	return m.Virions
+}
+
+// StepOnce advances the model one iteration, mirroring the kernel order:
+// spawn, move, epithelial update, virion diffusion, chemokine diffusion,
+// virion update, chemokine update. (The stats kernel has no state effect.)
+func (m *Model) StepOnce() {
+	m.spawn()
+	m.move()
+	m.epiUpdate()
+	Diffuse(m.Virions, m.VirNext, m.P.W, m.P.H, m.P.VirionDiffusion)
+	Diffuse(m.Chem, m.ChemNext, m.P.W, m.P.H, m.P.ChemokineDiffusion)
+	m.virionUpdate()
+	m.chemUpdate()
+	m.Step++
+}
+
+// Run advances the model n steps, collecting stats after each.
+func (m *Model) Run(n int) []Stats {
+	out := make([]Stats, 0, n)
+	for i := 0; i < n; i++ {
+		m.StepOnce()
+		out = append(out, m.CollectStats())
+	}
+	return out
+}
+
+// spawn mirrors k_tcell_spawn: signalled, unoccupied cells gain a tissue
+// T cell with probability TCellRate.
+func (m *Model) spawn() {
+	for i := range m.TCell {
+		if m.Chem[i] <= m.P.MinChemokine || m.TCell[i] != 0 {
+			continue
+		}
+		m.Rng[i] = XorShift(m.Rng[i])
+		if Rand01(m.Rng[i]) < m.P.TCellRate {
+			m.TCell[i] = m.P.TCellLife
+		}
+	}
+}
+
+// moveDeltas are the 8 neighbour offsets in the order the kernel uses.
+var moveDeltas = [8][2]int{
+	{-1, -1}, {0, -1}, {1, -1},
+	{-1, 0}, {1, 0},
+	{-1, 1}, {0, 1}, {1, 1},
+}
+
+// move mirrors k_tcell_move: each T cell picks a random neighbour and claims
+// it in the next-generation grid via compare-and-swap; the loser of a
+// conflict stays in place if its own cell is still free. Claims resolve in
+// cell-index order, exactly as the simulator's deterministic warp order does
+// (the paper's Section II-C race, fixed to one scheduler outcome).
+func (m *Model) move() {
+	w, h := m.P.W, m.P.H
+	clear(m.TCellNxt)
+	for i := range m.TCell {
+		life := m.TCell[i]
+		if life == 0 {
+			continue
+		}
+		life--
+		m.Rng[i] = XorShift(m.Rng[i])
+		if life <= 0 {
+			continue
+		}
+		dir := int(m.Rng[i] % 8)
+		dx, dy := moveDeltas[dir][0], moveDeltas[dir][1]
+		x, y := i%w, i/w
+		nx, ny := x+dx, y+dy
+		target := i
+		if nx >= 0 && nx < w && ny >= 0 && ny < h {
+			target = ny*w + nx
+		}
+		if m.TCellNxt[target] == 0 {
+			m.TCellNxt[target] = life
+		} else if m.TCellNxt[i] == 0 {
+			m.TCellNxt[i] = life
+		}
+	}
+	m.TCell, m.TCellNxt = m.TCellNxt, m.TCell
+}
+
+// epiUpdate mirrors k_epi_update: the epithelial state machine.
+func (m *Model) epiUpdate() {
+	for i := range m.EpiState {
+		switch m.EpiState[i] {
+		case Healthy:
+			if m.Virions[i] > 0 {
+				m.Rng[i] = XorShift(m.Rng[i])
+				p := m.Virions[i] * m.P.Infectivity
+				if p > 1 {
+					p = 1
+				}
+				if Rand01(m.Rng[i]) < p {
+					m.EpiState[i] = Incubating
+					m.EpiTimer[i] = m.P.IncubationPeriod
+				}
+			}
+		case Incubating:
+			if m.TCell[i] != 0 {
+				m.EpiState[i] = Apoptotic
+				m.EpiTimer[i] = m.P.ApoptosisPeriod
+			} else if m.EpiTimer[i]--; m.EpiTimer[i] <= 0 {
+				m.EpiState[i] = Expressing
+				m.EpiTimer[i] = m.P.ExpressingPeriod
+			}
+		case Expressing:
+			if m.TCell[i] != 0 {
+				m.EpiState[i] = Apoptotic
+				m.EpiTimer[i] = m.P.ApoptosisPeriod
+			} else if m.EpiTimer[i]--; m.EpiTimer[i] <= 0 {
+				m.EpiState[i] = Dead
+			}
+		case Apoptotic:
+			if m.EpiTimer[i]--; m.EpiTimer[i] <= 0 {
+				m.EpiState[i] = Dead
+			}
+		}
+	}
+}
+
+// Diffuse computes one diffusion step: dst[i] = src[i]*(1-d) + (d/8) * sum of
+// the in-bounds 8-neighbourhood. Mass leaving the grid border is lost
+// (absorbing boundary), which makes zero-padding (Fig 10c) semantically
+// exact.
+func Diffuse(src, dst []float64, w, h int, d float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			var acc float64
+			for _, dl := range moveDeltas {
+				nx, ny := x+dl[0], y+dl[1]
+				if nx >= 0 && nx < w && ny >= 0 && ny < h {
+					acc += src[ny*w+nx]
+				}
+			}
+			dst[i] = src[i]*(1-d) + acc*d/8
+		}
+	}
+}
+
+// virionUpdate mirrors k_virion_update: decay plus production by expressing
+// cells, reading the diffused next-grid and writing the primary grid.
+func (m *Model) virionUpdate() {
+	for i := range m.Virions {
+		v := m.VirNext[i] * (1 - m.P.VirionDecay)
+		if m.EpiState[i] == Expressing {
+			v += m.P.VirionProduction
+		}
+		if v < 1e-9 {
+			v = 0
+		}
+		m.Virions[i] = v
+	}
+}
+
+// chemUpdate mirrors k_chemokine_update: decay plus production by expressing
+// and apoptotic cells.
+func (m *Model) chemUpdate() {
+	for i := range m.Chem {
+		c := m.ChemNext[i] * (1 - m.P.ChemokineDecay)
+		if s := m.EpiState[i]; s == Expressing || s == Apoptotic {
+			c += m.P.ChemokineProduction
+		}
+		if c < 1e-9 {
+			c = 0
+		}
+		m.Chem[i] = c
+	}
+}
+
+// Stats is one step's summary of the simulation state — the per-step values
+// the per-value mean/variance validation compares (Section III-C).
+type Stats struct {
+	Healthy    int64
+	Incubating int64
+	Expressing int64
+	Apoptotic  int64
+	Dead       int64
+	TCells     int64
+	// Virions and Chemokine are fixed-point totals (value * StatScale,
+	// truncated), matching the kernels' integer atomics.
+	Virions   int64
+	Chemokine int64
+}
+
+// StatScale is the fixed-point scale of the float totals.
+const StatScale = 1024
+
+// CollectStats mirrors k_stats.
+func (m *Model) CollectStats() Stats {
+	var s Stats
+	for i := range m.EpiState {
+		switch m.EpiState[i] {
+		case Healthy:
+			s.Healthy++
+		case Incubating:
+			s.Incubating++
+		case Expressing:
+			s.Expressing++
+		case Apoptotic:
+			s.Apoptotic++
+		case Dead:
+			s.Dead++
+		}
+		if m.TCell[i] != 0 {
+			s.TCells++
+		}
+		s.Virions += int64(m.Virions[i] * StatScale)
+		s.Chemokine += int64(m.Chem[i] * StatScale)
+	}
+	return s
+}
+
+// Values returns the stats as an ordered vector for band comparison.
+func (s Stats) Values() [8]float64 {
+	return [8]float64{
+		float64(s.Healthy), float64(s.Incubating), float64(s.Expressing),
+		float64(s.Apoptotic), float64(s.Dead), float64(s.TCells),
+		float64(s.Virions) / StatScale, float64(s.Chemokine) / StatScale,
+	}
+}
+
+// StatNames labels the Values vector.
+var StatNames = [8]string{
+	"healthy", "incubating", "expressing", "apoptotic", "dead", "tcells",
+	"virions", "chemokine",
+}
+
+// Bands holds per-step, per-value tolerance intervals computed from an
+// ensemble of ground-truth runs: the paper's per-value mean and variance.
+type Bands struct {
+	Mean  [][8]float64 // [step][value]
+	Slack [][8]float64 // [step][value]: allowed absolute deviation
+}
+
+// ComputeBands runs the reference model with `replicas` different seeds and
+// derives per-step tolerance bands: mean ± max(k·σ, floor·mean, minSlack).
+func ComputeBands(p Params, steps, replicas int, k, floor, minSlack float64) *Bands {
+	series := make([][]Stats, replicas)
+	for r := 0; r < replicas; r++ {
+		pp := p
+		pp.Seed = p.Seed + uint64(r)
+		series[r] = New(pp).Run(steps)
+	}
+	b := &Bands{Mean: make([][8]float64, steps), Slack: make([][8]float64, steps)}
+	for t := 0; t < steps; t++ {
+		for v := 0; v < 8; v++ {
+			var sum, sumsq float64
+			for r := 0; r < replicas; r++ {
+				x := series[r][t].Values()[v]
+				sum += x
+				sumsq += x * x
+			}
+			mean := sum / float64(replicas)
+			variance := sumsq/float64(replicas) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			slack := k * math.Sqrt(variance)
+			if f := floor * math.Abs(mean); f > slack {
+				slack = f
+			}
+			if slack < minSlack {
+				slack = minSlack
+			}
+			b.Mean[t][v] = mean
+			b.Slack[t][v] = slack
+		}
+	}
+	return b
+}
+
+// Check compares a stats trajectory against the bands, returning the first
+// violation as (step, valueIndex, got, want, slack) with ok=false, or
+// ok=true.
+func (b *Bands) Check(series []Stats) (step, value int, got, want, slack float64, ok bool) {
+	n := len(series)
+	if n > len(b.Mean) {
+		n = len(b.Mean)
+	}
+	for t := 0; t < n; t++ {
+		vals := series[t].Values()
+		for v := 0; v < 8; v++ {
+			if math.Abs(vals[v]-b.Mean[t][v]) > b.Slack[t][v] {
+				return t, v, vals[v], b.Mean[t][v], b.Slack[t][v], false
+			}
+		}
+	}
+	return 0, 0, 0, 0, 0, true
+}

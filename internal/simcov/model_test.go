@@ -1,0 +1,200 @@
+package simcov
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	p := DefaultParams(24, 24)
+	p.Seed = 9
+	a := New(p).Run(30)
+	b := New(p).Run(30)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs between identical seeds", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 10
+	c := New(p2).Run(30)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+// TestCellConservation checks the epithelial state machine conserves cells:
+// the five state counts always sum to W*H.
+func TestCellConservation(t *testing.T) {
+	p := DefaultParams(20, 20)
+	p.Seed = 4
+	m := New(p)
+	for i := 0; i < 50; i++ {
+		m.StepOnce()
+		s := m.CollectStats()
+		total := s.Healthy + s.Incubating + s.Expressing + s.Apoptotic + s.Dead
+		if total != int64(p.W*p.H) {
+			t.Fatalf("step %d: cell count %d != %d", i, total, p.W*p.H)
+		}
+	}
+}
+
+// TestStateMonotonicity checks dead cells never resurrect.
+func TestStateMonotonicity(t *testing.T) {
+	p := DefaultParams(20, 20)
+	p.Seed = 4
+	m := New(p)
+	var prevDead int64
+	for i := 0; i < 60; i++ {
+		m.StepOnce()
+		s := m.CollectStats()
+		if s.Dead < prevDead {
+			t.Fatalf("step %d: dead count decreased %d -> %d", i, prevDead, s.Dead)
+		}
+		prevDead = s.Dead
+	}
+}
+
+// TestTCellConservation checks T cells never duplicate during movement:
+// count after move <= count before (cells can die or be crowded out, never
+// split).
+func TestTCellConservation(t *testing.T) {
+	p := DefaultParams(16, 16)
+	p.Seed = 12
+	m := New(p)
+	for i := 0; i < 40; i++ {
+		m.spawn()
+		var before int64
+		for _, v := range m.TCell {
+			if v != 0 {
+				before++
+			}
+		}
+		m.move()
+		var after int64
+		for _, v := range m.TCell {
+			if v != 0 {
+				after++
+			}
+		}
+		if after > before {
+			t.Fatalf("step %d: T cells duplicated %d -> %d", i, before, after)
+		}
+		m.epiUpdate()
+		Diffuse(m.Virions, m.VirNext, p.W, p.H, p.VirionDiffusion)
+		Diffuse(m.Chem, m.ChemNext, p.W, p.H, p.ChemokineDiffusion)
+		m.virionUpdate()
+		m.chemUpdate()
+	}
+}
+
+// TestDiffusionMassBound checks diffusion never creates mass (absorbing
+// boundary only removes it) — property-based over random fields.
+func TestDiffusionMassBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		const w, h = 12, 9
+		src := make([]float64, w*h)
+		s := SeedCell(seed, 1)
+		var total float64
+		for i := range src {
+			s = XorShift(s)
+			src[i] = Rand01(s) * 10
+			total += src[i]
+		}
+		dst := make([]float64, w*h)
+		Diffuse(src, dst, w, h, 0.5)
+		var after float64
+		for _, v := range dst {
+			if v < 0 {
+				return false
+			}
+			after += v
+		}
+		return after <= total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiffusionInteriorConservation: with a uniform field, interior cells
+// keep their value exactly (8 neighbours * d/8 + (1-d) = 1).
+func TestDiffusionInteriorConservation(t *testing.T) {
+	const w, h = 10, 10
+	src := make([]float64, w*h)
+	for i := range src {
+		src[i] = 3.5
+	}
+	dst := make([]float64, w*h)
+	Diffuse(src, dst, w, h, 0.4)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			if d := dst[y*w+x] - 3.5; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("interior cell (%d,%d) changed: %v", x, y, dst[y*w+x])
+			}
+		}
+	}
+	// Border cells lose mass to the absorbing boundary.
+	if dst[0] >= 3.5 {
+		t.Errorf("corner should lose mass, got %v", dst[0])
+	}
+}
+
+func TestXorShiftNeverZero(t *testing.T) {
+	s := SeedCell(0, 0)
+	for i := 0; i < 10000; i++ {
+		s = XorShift(s)
+		if s == 0 {
+			t.Fatal("xorshift reached zero (would stick)")
+		}
+	}
+}
+
+func TestRand01Range(t *testing.T) {
+	s := SeedCell(7, 3)
+	for i := 0; i < 10000; i++ {
+		s = XorShift(s)
+		r := Rand01(s)
+		if r < 0 || r >= 1 {
+			t.Fatalf("Rand01 out of range: %v", r)
+		}
+	}
+}
+
+// TestBandsAcceptReplicasRejectBroken checks the tolerance-band machinery.
+func TestBandsAcceptReplicasRejectBroken(t *testing.T) {
+	p := DefaultParams(16, 16)
+	p.Seed = 20
+	bands := ComputeBands(p, 25, 5, 6, 0.15, 3)
+	// A member of the ensemble must pass.
+	pp := p
+	pp.Seed = p.Seed + 2
+	if _, _, _, _, _, ok := bands.Check(New(pp).Run(25)); !ok {
+		t.Error("ensemble member should be within its own bands")
+	}
+	// A run with radically different dynamics must fail.
+	broken := p
+	broken.Seed = p.Seed + 1
+	broken.VirionProduction = 0
+	broken.InitialInfections = 0
+	if _, _, _, _, _, ok := bands.Check(New(broken).Run(25)); ok {
+		t.Error("virus-free run should violate the bands")
+	}
+}
+
+func TestStatsValuesOrder(t *testing.T) {
+	s := Stats{Healthy: 1, Incubating: 2, Expressing: 3, Apoptotic: 4, Dead: 5, TCells: 6, Virions: 7 * StatScale, Chemokine: 8 * StatScale}
+	v := s.Values()
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7, 8} {
+		if v[i] != want {
+			t.Errorf("Values()[%d] (%s) = %v, want %v", i, StatNames[i], v[i], want)
+		}
+	}
+}

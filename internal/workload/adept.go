@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"fmt"
+
+	"gevo/internal/align"
+	"gevo/internal/gpu"
+	"gevo/internal/ir"
+	"gevo/internal/kernels"
+)
+
+// ADEPT is the sequence-alignment workload. A fitness set drives the search
+// (the analog of the ADEPT repository's 30,000 pairs) and a larger held-out
+// set guards the final result (the analog of the paper's 4.6M pairs);
+// both are scaled for the simulator and configurable.
+type ADEPT struct {
+	Version kernels.ADEPTVersion
+	Scoring align.Scoring
+
+	fit     []align.Pair
+	holdout []align.Pair
+	fitRef  []align.Result
+	holdRef []align.Result
+
+	block  int
+	budget int64
+	base   *ir.Module
+}
+
+// ADEPTOptions configures dataset generation.
+type ADEPTOptions struct {
+	// Seed drives deterministic dataset generation.
+	Seed uint64
+	// FitPairs and HoldoutPairs are the dataset sizes. Zero values pick the
+	// defaults (16 fitness pairs, 96 held-out pairs).
+	FitPairs, HoldoutPairs int
+	// RefLen and QueryLen are the sequence lengths (defaults 96/64).
+	RefLen, QueryLen int
+	// Budget bounds dynamic instructions per launch (default 64M).
+	Budget int64
+}
+
+func (o *ADEPTOptions) fill() {
+	if o.FitPairs == 0 {
+		o.FitPairs = 16
+	}
+	if o.HoldoutPairs == 0 {
+		o.HoldoutPairs = 96
+	}
+	if o.RefLen == 0 {
+		o.RefLen = 96
+	}
+	if o.QueryLen == 0 {
+		o.QueryLen = 64
+	}
+	if o.Budget == 0 {
+		o.Budget = gpu.DefaultDynInstrBudget
+	}
+}
+
+// NewADEPT builds the workload: generates datasets, computes reference
+// results, and constructs the base module for the requested code version.
+func NewADEPT(v kernels.ADEPTVersion, opt ADEPTOptions) (*ADEPT, error) {
+	opt.fill()
+	block, err := kernels.BlockForQuery(opt.QueryLen)
+	if err != nil {
+		return nil, err
+	}
+	a := &ADEPT{
+		Version: v,
+		Scoring: align.DefaultScoring,
+		fit:     align.GeneratePairs(opt.Seed, opt.FitPairs, opt.RefLen, opt.QueryLen),
+		holdout: align.GeneratePairs(opt.Seed+1, opt.HoldoutPairs, opt.RefLen, opt.QueryLen),
+		block:   block,
+		budget:  opt.Budget,
+		base:    kernels.ADEPTModule(v),
+	}
+	a.fitRef = a.reference(a.fit)
+	a.holdRef = a.reference(a.holdout)
+	return a, nil
+}
+
+func (a *ADEPT) reference(pairs []align.Pair) []align.Result {
+	out := make([]align.Result, len(pairs))
+	for i, p := range pairs {
+		if a.Version == kernels.ADEPTV1 {
+			out[i] = align.Align(p, a.Scoring)
+		} else {
+			out[i] = align.Forward(p, a.Scoring)
+		}
+	}
+	return out
+}
+
+// Name implements Workload.
+func (a *ADEPT) Name() string { return a.Version.String() }
+
+// Base implements Workload.
+func (a *ADEPT) Base() *ir.Module { return a.base }
+
+// FitnessPairs returns the fitness dataset (read-only).
+func (a *ADEPT) FitnessPairs() []align.Pair { return a.fit }
+
+// Block returns the thread-block size used for launches.
+func (a *ADEPT) Block() int { return a.block }
+
+// Evaluate implements Workload.
+func (a *ADEPT) Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error) {
+	ms, _, err := a.run(m, arch, a.fit, a.fitRef, false)
+	return ms, err
+}
+
+// EvaluateProfiled implements Profiler.
+func (a *ADEPT) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
+	return a.run(m, arch, a.fit, a.fitRef, true)
+}
+
+// Validate implements Workload.
+func (a *ADEPT) Validate(m *ir.Module, arch *gpu.Arch) error {
+	_, _, err := a.run(m, arch, a.holdout, a.holdRef, false)
+	return err
+}
+
+// deviceData is the uploaded dataset layout.
+type deviceData struct {
+	ref, query, refOffs, refLens, qOffs, qLens, out int64
+	n                                               int
+}
+
+func uploadPairs(d *gpu.Device, pairs []align.Pair) (*deviceData, error) {
+	n := len(pairs)
+	var refBytes, qBytes []byte
+	refOffs := make([]int32, n)
+	refLens := make([]int32, n)
+	qOffs := make([]int32, n)
+	qLens := make([]int32, n)
+	for i, p := range pairs {
+		refOffs[i] = int32(len(refBytes))
+		refLens[i] = int32(len(p.Ref))
+		qOffs[i] = int32(len(qBytes))
+		qLens[i] = int32(len(p.Query))
+		refBytes = append(refBytes, p.Ref...)
+		qBytes = append(qBytes, p.Query...)
+	}
+	dd := &deviceData{n: n}
+	var err error
+	alloc := func(sz int) int64 {
+		if err != nil {
+			return 0
+		}
+		var base int64
+		base, err = d.Alloc(sz)
+		return base
+	}
+	dd.ref = alloc(len(refBytes))
+	dd.query = alloc(len(qBytes))
+	dd.refOffs = alloc(4 * n)
+	dd.refLens = alloc(4 * n)
+	dd.qOffs = alloc(4 * n)
+	dd.qLens = alloc(4 * n)
+	dd.out = alloc(kernels.OutStride * n)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.WriteBytes(dd.ref, refBytes); err != nil {
+		return nil, err
+	}
+	if err := d.WriteBytes(dd.query, qBytes); err != nil {
+		return nil, err
+	}
+	for _, w := range []struct {
+		base int64
+		vals []int32
+	}{{dd.refOffs, refOffs}, {dd.refLens, refLens}, {dd.qOffs, qOffs}, {dd.qLens, qLens}} {
+		if err := d.WriteI32s(w.base, w.vals); err != nil {
+			return nil, err
+		}
+	}
+	return dd, nil
+}
+
+func (dd *deviceData) args(s align.Scoring) []uint64 {
+	return gpu.PackArgs(
+		uint64(dd.ref), uint64(dd.query),
+		uint64(dd.refOffs), uint64(dd.refLens),
+		uint64(dd.qOffs), uint64(dd.qLens),
+		uint64(dd.out),
+		int64(s.Match), int64(s.Mismatch), int64(s.GapOpen), int64(s.GapExtend),
+	)
+}
+
+// MismatchError reports a variant producing wrong alignment output — the
+// paper's "fails one or more test cases".
+type MismatchError struct {
+	Workload string
+	Pair     int
+	Field    string
+	Got      int32
+	Want     int32
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("%s: pair %d: %s = %d, want %d", e.Workload, e.Pair, e.Field, e.Got, e.Want)
+}
+
+func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, pairs []align.Pair, want []align.Result, profile bool) (float64, map[string]*gpu.Profile, error) {
+	if err := m.Verify(); err != nil {
+		return 0, nil, err
+	}
+	fwdF := m.Func("sw_forward")
+	if fwdF == nil {
+		return 0, nil, fmt.Errorf("adept: module lacks sw_forward")
+	}
+	fwd, err := gpu.Compile(fwdF)
+	if err != nil {
+		return 0, nil, err
+	}
+	var rev *gpu.Kernel
+	if a.Version == kernels.ADEPTV1 {
+		revF := m.Func("sw_reverse")
+		if revF == nil {
+			return 0, nil, fmt.Errorf("adept: V1 module lacks sw_reverse")
+		}
+		if rev, err = gpu.Compile(revF); err != nil {
+			return 0, nil, err
+		}
+	}
+
+	d := gpu.NewDevice(arch)
+	dd, err := uploadPairs(d, pairs)
+	if err != nil {
+		return 0, nil, err
+	}
+	args := dd.args(a.Scoring)
+
+	var profiles map[string]*gpu.Profile
+	var fwdProf, revProf *gpu.Profile
+	if profile {
+		profiles = map[string]*gpu.Profile{}
+		fwdProf = gpu.NewProfile(fwd)
+		profiles["sw_forward"] = fwdProf
+		if rev != nil {
+			revProf = gpu.NewProfile(rev)
+			profiles["sw_reverse"] = revProf
+		}
+	}
+
+	cfg := gpu.LaunchConfig{Grid: dd.n, Block: a.block, Args: args, MaxDynInstr: a.budget, Profile: fwdProf}
+	res, err := d.Launch(fwd, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	total := res.TimeMS
+	if rev != nil {
+		cfg.Profile = revProf
+		rres, err := d.Launch(rev, cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		total += rres.TimeMS
+	}
+
+	recs, err := d.ReadI32s(dd.out, dd.n*kernels.OutStride/4)
+	if err != nil {
+		return 0, nil, err
+	}
+	stride := kernels.OutStride / 4
+	for i := range pairs {
+		r := recs[i*stride:]
+		checks := []struct {
+			field string
+			got   int32
+			want  int32
+		}{
+			{"score", r[kernels.OutScore/4], want[i].Score},
+			{"refEnd", r[kernels.OutRefEnd/4], want[i].RefEnd},
+			{"queryEnd", r[kernels.OutQueryEnd/4], want[i].QueryEnd},
+		}
+		if a.Version == kernels.ADEPTV1 {
+			checks = append(checks,
+				struct {
+					field string
+					got   int32
+					want  int32
+				}{"refStart", r[kernels.OutRefStart/4], want[i].RefStart},
+				struct {
+					field string
+					got   int32
+					want  int32
+				}{"queryStart", r[kernels.OutQueryStart/4], want[i].QueryStart},
+			)
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				return 0, nil, &MismatchError{Workload: a.Name(), Pair: i, Field: c.field, Got: c.got, Want: c.want}
+			}
+		}
+	}
+	return total, profiles, nil
+}

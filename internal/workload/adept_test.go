@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"gevo/internal/gpu"
+	"gevo/internal/ir"
+	"gevo/internal/kernels"
+)
+
+func newTestADEPT(t *testing.T, v kernels.ADEPTVersion) *ADEPT {
+	t.Helper()
+	a, err := NewADEPT(v, ADEPTOptions{Seed: 11, FitPairs: 6, HoldoutPairs: 10, RefLen: 96, QueryLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestV0Correct checks the ADEPT-V0 kernel agrees with the CPU reference on
+// fitness and held-out sets.
+func TestV0Correct(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV0)
+	ms, err := a.Evaluate(a.Base(), gpu.P100)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if ms <= 0 {
+		t.Errorf("non-positive fitness %v", ms)
+	}
+	if err := a.Validate(a.Base(), gpu.P100); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+// TestV1Correct checks the ADEPT-V1 forward+reverse kernels agree with the
+// CPU reference, including start positions.
+func TestV1Correct(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	ms, err := a.Evaluate(a.Base(), gpu.P100)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if ms <= 0 {
+		t.Errorf("non-positive fitness %v", ms)
+	}
+	if err := a.Validate(a.Base(), gpu.P100); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+// TestV1CorrectAllArchs checks correctness is architecture-independent.
+func TestV1CorrectAllArchs(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	for _, arch := range gpu.Architectures {
+		if _, err := a.Evaluate(a.Base(), arch); err != nil {
+			t.Errorf("%s: %v", arch.Name, err)
+		}
+	}
+}
+
+// TestV1FasterThanV0 checks the paper's Section III-B observation: the
+// hand-tuned V1 runs roughly 20-30x faster than V0.
+func TestV1FasterThanV0(t *testing.T) {
+	v0 := newTestADEPT(t, kernels.ADEPTV0)
+	v1 := newTestADEPT(t, kernels.ADEPTV1)
+	ms0, err := v0.Evaluate(v0.Base(), gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms1, err := v1.Evaluate(v1.Base(), gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ms0 / ms1
+	t.Logf("V0 %.3fms V1 %.3fms ratio %.1fx", ms0, ms1, ratio)
+	if ratio < 10 || ratio > 60 {
+		t.Errorf("V1 should be roughly 20-30x faster than V0, got %.1fx", ratio)
+	}
+}
+
+// applyV1PaperEdits performs the Figure 9 epistatic edits by direct IR
+// surgery (the evolutionary engine reaches the same states via mutation
+// operators; this test isolates kernel semantics).
+func applyV1PaperEdits(t *testing.T, m *ir.Module, which map[string]bool) *ir.Module {
+	t.Helper()
+	mm := m.Clone()
+	for _, fname := range []string{"sw_forward", "sw_reverse"} {
+		f := mm.Func(fname)
+		if f == nil {
+			t.Fatalf("missing kernel %s", fname)
+		}
+		sites := kernels.EditSiteUIDs(f)
+		need := func(k string) *ir.Instr {
+			uid, ok := sites[k]
+			if !ok {
+				t.Fatalf("site %q not found in %s", k, fname)
+			}
+			in := f.InstrByUID(uid)
+			if in == nil {
+				t.Fatalf("site %q uid %d missing", k, uid)
+			}
+			return in
+		}
+		if which["edit6"] {
+			br := need("tailStoreBr")
+			br.Args[0] = ir.Reg(sites["tidLtQ"], ir.I1)
+		}
+		if which["edit8"] {
+			br := need("eExchBr")
+			br.Args[0] = ir.Reg(sites["guard"], ir.I1)
+		}
+		if which["edit10"] {
+			br := need("hExchBr")
+			br.Args[0] = ir.Reg(sites["guard"], ir.I1)
+		}
+		if which["edit5"] {
+			cmp := need("lane31cmp")
+			cmp.Args[1] = ir.ConstInt(ir.I32, 0)
+		}
+	}
+	return mm
+}
+
+// TestV1PaperEditsCorrect checks the full epistatic set {5,6,8,10} preserves
+// 100% output accuracy (the paper's central optimized variant).
+func TestV1PaperEditsCorrect(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	mm := applyV1PaperEdits(t, a.Base(), map[string]bool{"edit5": true, "edit6": true, "edit8": true, "edit10": true})
+	if _, err := a.Evaluate(mm, gpu.P100); err != nil {
+		t.Fatalf("epistatic set should be valid: %v", err)
+	}
+	if err := a.Validate(mm, gpu.P100); err != nil {
+		t.Fatalf("held-out validation: %v", err)
+	}
+}
+
+// TestV1PaperEditsFaster checks the epistatic set improves fitness — the
+// Section VI-A result (divergence-free all-shared-memory exchange wins).
+func TestV1PaperEditsFaster(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	base, err := a.Evaluate(a.Base(), gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := applyV1PaperEdits(t, a.Base(), map[string]bool{"edit5": true, "edit6": true, "edit8": true, "edit10": true})
+	opt, err := a.Evaluate(mm, gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("V1 base %.4fms, epistatic set %.4fms, speedup %.3fx", base, opt, base/opt)
+	if opt >= base {
+		t.Errorf("epistatic set should be faster: %v >= %v", opt, base)
+	}
+}
+
+// TestV1Edit8AloneFails checks the paper's dependency claim: edit 8 without
+// edit 6 reads stale local arrays and fails verification (wrong outputs).
+func TestV1Edit8AloneFails(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	mm := applyV1PaperEdits(t, a.Base(), map[string]bool{"edit8": true})
+	_, err := a.Evaluate(mm, gpu.P100)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("edit 8 alone should mismatch, got %v", err)
+	}
+}
+
+// TestV1Edit5AloneFails checks edit 5 alone (lane 31 → lane 0 publish)
+// breaks the cross-warp exchange.
+func TestV1Edit5AloneFails(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	mm := applyV1PaperEdits(t, a.Base(), map[string]bool{"edit5": true})
+	_, err := a.Evaluate(mm, gpu.P100)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("edit 5 alone should mismatch, got %v", err)
+	}
+}
+
+// TestV1Edit6AloneValid checks edit 6 alone is functionally neutral (the
+// stepping stone: extra stores, no behaviour change).
+func TestV1Edit6AloneValid(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	mm := applyV1PaperEdits(t, a.Base(), map[string]bool{"edit6": true})
+	if _, err := a.Evaluate(mm, gpu.P100); err != nil {
+		t.Fatalf("edit 6 alone should be valid: %v", err)
+	}
+}
+
+// TestV0MemsetRemoval checks the Section VI-C result: killing the
+// memset+sync loop preserves outputs and speeds V0 up dramatically.
+func TestV0MemsetRemoval(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV0)
+	base, err := a.Evaluate(a.Base(), gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := a.Base().Clone()
+	f := mm.Func("sw_forward")
+	sites := kernels.V0EditSiteUIDs(f)
+	br := f.InstrByUID(sites["memsetBr"])
+	if br == nil {
+		t.Fatal("memset branch not found")
+	}
+	// Convert the loop back-edge into a straight exit: the loop body runs
+	// once per diagonal instead of qLen times.
+	br.Op = ir.OpBr
+	br.Args = nil
+	br.Succs = []string{br.Succs[1]}
+	opt, err := a.Evaluate(mm, gpu.P100)
+	if err != nil {
+		t.Fatalf("memset-removed variant should be valid: %v", err)
+	}
+	if err := a.Validate(mm, gpu.P100); err != nil {
+		t.Fatalf("held-out: %v", err)
+	}
+	ratio := base / opt
+	t.Logf("V0 %.3fms stripped %.3fms speedup %.1fx", base, opt, ratio)
+	if ratio < 5 {
+		t.Errorf("memset removal should be a large win, got %.2fx", ratio)
+	}
+}
+
+// TestBallotRemovalArchDependence checks Section VI-B: deleting ballot_sync
+// helps on V100 (independent thread scheduling) but not P100.
+func TestBallotRemovalArchDependence(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	mm := a.Base().Clone()
+	for _, fname := range []string{"sw_forward", "sw_reverse"} {
+		f := mm.Func(fname)
+		sites := kernels.EditSiteUIDs(f)
+		pos, ok := f.Find(sites["ballot"])
+		if !ok {
+			t.Fatalf("ballot not found in %s", fname)
+		}
+		f.RemoveAt(pos)
+	}
+	for _, arch := range []*gpu.Arch{gpu.P100, gpu.V100} {
+		base, err := a.Evaluate(a.Base(), arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := a.Evaluate(mm, arch)
+		if err != nil {
+			t.Fatalf("%s: ballot removal should be valid: %v", arch.Name, err)
+		}
+		gain := (base - opt) / base
+		t.Logf("%s: ballot removal gain %.2f%%", arch.Name, gain*100)
+		if arch == gpu.V100 && gain < 0.01 {
+			t.Errorf("V100 ballot removal gain too small: %.3f%%", gain*100)
+		}
+		if arch == gpu.P100 && gain > 0.02 {
+			t.Errorf("P100 ballot removal gain suspiciously large: %.3f%%", gain*100)
+		}
+	}
+}
+
+// TestProfiledEvaluation checks the profiler integration.
+func TestProfiledEvaluation(t *testing.T) {
+	a := newTestADEPT(t, kernels.ADEPTV1)
+	ms, profs, err := a.EvaluateProfiled(a.Base(), gpu.P100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 || profs["sw_forward"] == nil || profs["sw_reverse"] == nil {
+		t.Fatalf("incomplete profile result: ms=%v profs=%v", ms, profs)
+	}
+	if profs["sw_forward"].SumCycles() <= 0 {
+		t.Error("forward profile empty")
+	}
+}

@@ -1,0 +1,35 @@
+// Package workload wires the applications (ADEPT, SIMCoV) to the GPU
+// simulator and defines the fitness/validation harnesses the evolutionary
+// engine optimizes against, following the paper's Section III-C methodology:
+// a small fitness test set drives the search, and a larger held-out set
+// validates the final optimized program.
+package workload
+
+import (
+	"gevo/internal/gpu"
+	"gevo/internal/ir"
+)
+
+// Workload is one optimizable GPU application. Implementations must be safe
+// for concurrent Evaluate calls (each call creates its own device).
+type Workload interface {
+	// Name identifies the workload (e.g. "ADEPT-V1", "SIMCoV").
+	Name() string
+	// Base returns the unmutated module. Callers clone before editing.
+	Base() *ir.Module
+	// Evaluate runs the module variant on the fitness test set and returns
+	// the fitness: total simulated kernel time in milliseconds. Any
+	// verification failure, fault, timeout or output mismatch is an error —
+	// the variant "fails one or more test cases" in the paper's terms.
+	Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error)
+	// Validate runs the module variant against the held-out set, returning
+	// an error unless it passes in full.
+	Validate(m *ir.Module, arch *gpu.Arch) error
+}
+
+// Profiler is implemented by workloads that can attribute cycles to
+// instructions (the nvprof analog used by the Section V analysis).
+type Profiler interface {
+	// EvaluateProfiled is Evaluate plus per-kernel instruction profiles.
+	EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error)
+}
