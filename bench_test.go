@@ -196,12 +196,28 @@ func BenchmarkSimulator_SIMCoVStep(b *testing.B) {
 }
 
 // BenchmarkKernels_Compile measures the module compile (mutation -> PTX
-// analog) path that runs once per evaluated variant.
+// analog) path that runs once per distinct variant.
 func BenchmarkKernels_Compile(b *testing.B) {
 	m := kernels.ADEPTModule(kernels.ADEPTV1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gpu.CompileAll(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernels_PrepareCached measures the content-hash + cache-hit path
+// that replaces per-evaluation verification and recompilation in the
+// evaluation pipeline.
+func BenchmarkKernels_PrepareCached(b *testing.B) {
+	m := kernels.ADEPTModule(kernels.ADEPTV1)
+	if _, err := gpu.Prepare(m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gpu.Prepare(m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,7 +24,8 @@ func main() {
 	pop := flag.Int("pop", 32, "population size (paper: 256)")
 	gens := flag.Int("gens", 40, "generations (paper: 300 ADEPT / 130 SIMCoV)")
 	seed := flag.Uint64("seed", 1, "search seed")
-	mut := flag.Float64("mut", 0.5, "mutation rate (paper: 0.3 at pop 256)")
+	mut := flag.Float64("mut", 0.5, "mutation rate (paper: 0.3 at pop 256; 0 disables)")
+	cross := flag.Float64("cross", 0.8, "crossover rate (paper: 0.8; 0 disables)")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	flag.Parse()
 
@@ -54,7 +55,8 @@ func main() {
 	fmt.Printf("GEVO search: %s on %s, pop %d x %d generations, seed %d\n",
 		w.Name(), arch.Name, *pop, *gens, *seed)
 	eng := core.NewEngine(w, core.Config{
-		Pop: *pop, Generations: *gens, Seed: *seed, Arch: arch, MutationRate: *mut,
+		Pop: *pop, Generations: *gens, Seed: *seed, Arch: arch,
+		MutationRate: *mut, CrossoverRate: *cross,
 	})
 	res, err := eng.Run()
 	if err != nil {

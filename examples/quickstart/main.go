@@ -29,7 +29,7 @@ func main() {
 	//    generations over 7 days of GPU time).
 	cfg := gevo.Config{
 		Pop: 24, Elite: 2, Generations: 25,
-		MutationRate: 0.9, Seed: 5, Arch: gevo.P100,
+		CrossoverRate: 0.8, MutationRate: 0.9, Seed: 5, Arch: gevo.P100,
 	}
 
 	// 3. Run the evolutionary search.

@@ -8,12 +8,15 @@
 // The three layers, bottom to top:
 //
 //   - internal/ir + internal/gpu: the LLVM-IR and NVIDIA-GPU substitutes
-//     (see DESIGN.md for the substitution argument);
+//     (see DESIGN.md for the substitution argument and the evaluation
+//     pipeline — content-addressed compiled-program cache, pooled devices,
+//     pre-decoded interpreter — that keeps search throughput high);
 //   - internal/workload: the paper's two applications, ADEPT sequence
 //     alignment and the SIMCoV infection model, wired to fitness and
 //     held-out validation;
-//   - internal/core + internal/analysis: the evolutionary engine and the
-//     Section V edit-analysis algorithms.
+//   - internal/core + internal/analysis: the evolutionary engine (with a
+//     sharded single-flight fitness cache) and the Section V edit-analysis
+//     algorithms.
 //
 // This package re-exports the types a downstream user needs; examples/ holds
 // runnable walkthroughs and cmd/ the operational tools.

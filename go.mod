@@ -1,0 +1,3 @@
+module gevo
+
+go 1.24

@@ -197,7 +197,7 @@ func TestEngineSearchV0(t *testing.T) {
 	// run would.
 	eng := NewEngine(a, Config{
 		Pop: 24, Elite: 2, Generations: 30, Seed: 5, Arch: gpu.P100,
-		MutationRate: 0.9,
+		CrossoverRate: 0.8, MutationRate: 0.9,
 	})
 	res, err := eng.Run()
 	if err != nil {
@@ -253,7 +253,10 @@ func TestEngineDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() float64 {
-		eng := NewEngine(a, Config{Pop: 8, Elite: 1, Generations: 4, Seed: 42, Arch: gpu.P100})
+		eng := NewEngine(a, Config{
+			Pop: 8, Elite: 1, Generations: 4, Seed: 42, Arch: gpu.P100,
+			CrossoverRate: 0.8, MutationRate: 0.3,
+		})
 		res, err := eng.Run()
 		if err != nil {
 			t.Fatal(err)

@@ -6,23 +6,29 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gevo/internal/gpu"
 	"gevo/internal/rng"
 	"gevo/internal/workload"
 )
 
-// Config holds the evolutionary search parameters. The defaults mirror
-// Section III-E: population 256, four elites, 80% crossover, 30% mutation.
+// Config holds the evolutionary search parameters. Use DefaultConfig for the
+// paper's Section III-E settings (population 256, four elites, 80% crossover,
+// 30% mutation). Zero rates are legal and disable the operator; only
+// structural fields (population, elites, generations, tournament size) are
+// defaulted when left zero.
 type Config struct {
 	// Pop is the population size.
 	Pop int
 	// Elite is the number of best individuals copied unchanged into the
 	// next generation.
 	Elite int
-	// CrossoverRate is the per-offspring crossover probability.
+	// CrossoverRate is the per-offspring crossover probability. Zero disables
+	// crossover; it is never silently defaulted (see DefaultConfig).
 	CrossoverRate float64
-	// MutationRate is the per-offspring mutation probability.
+	// MutationRate is the per-offspring mutation probability. Zero disables
+	// mutation; it is never silently defaulted (see DefaultConfig).
 	MutationRate float64
 	// Generations is the search budget (the paper's 7-day ADEPT budget ran
 	// ~300 generations; the 2-day SIMCoV budget ~130).
@@ -45,6 +51,10 @@ func DefaultConfig(arch *gpu.Arch) Config {
 	}
 }
 
+// fill normalizes structural fields whose zero value is meaningless. The
+// rates are taken as given — zero legally disables the operator — with
+// negative values clamped to zero; the paper's defaults come from
+// DefaultConfig only.
 func (c *Config) fill() {
 	if c.Pop <= 0 {
 		c.Pop = 256
@@ -52,11 +62,11 @@ func (c *Config) fill() {
 	if c.Elite <= 0 {
 		c.Elite = 4
 	}
-	if c.CrossoverRate == 0 {
-		c.CrossoverRate = 0.8
+	if c.CrossoverRate < 0 {
+		c.CrossoverRate = 0
 	}
-	if c.MutationRate == 0 {
-		c.MutationRate = 0.3
+	if c.MutationRate < 0 {
+		c.MutationRate = 0
 	}
 	if c.Generations <= 0 {
 		c.Generations = 100
@@ -96,46 +106,81 @@ type Result struct {
 	Evaluations int
 }
 
+// fitnessShards is the shard count of the fitness cache. Sharding keeps
+// concurrent workers off one mutex; each shard is single-flight per key.
+const fitnessShards = 16
+
+// fitnessEntry is one cache slot. done is closed once ms is set; concurrent
+// requesters of an in-flight genome block on it instead of racing duplicate
+// simulations.
+type fitnessEntry struct {
+	done chan struct{}
+	ms   float64
+}
+
+type fitnessShard struct {
+	mu sync.Mutex
+	m  map[string]*fitnessEntry
+}
+
+// shardOf maps a genome key to its shard (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (fitnessShards - 1)
+}
+
 // Engine runs the GEVO search over one workload.
 type Engine struct {
-	w     workload.Workload
-	cfg   Config
-	r     *rng.R
-	cache map[string]float64
-	mu    sync.Mutex
-	evals int
+	w      workload.Workload
+	cfg    Config
+	r      *rng.R
+	shards [fitnessShards]fitnessShard
+	evals  atomic.Int64
 }
 
 // NewEngine creates a search engine for the workload.
 func NewEngine(w workload.Workload, cfg Config) *Engine {
 	cfg.fill()
-	return &Engine{
-		w:     w,
-		cfg:   cfg,
-		r:     rng.New(cfg.Seed),
-		cache: make(map[string]float64),
+	e := &Engine{
+		w:   w,
+		cfg: cfg,
+		r:   rng.New(cfg.Seed),
 	}
+	for i := range e.shards {
+		e.shards[i].m = make(map[string]*fitnessEntry)
+	}
+	return e
 }
 
-// fitness evaluates a genome (with caching).
+// fitness evaluates a genome through the sharded single-flight cache:
+// concurrent duplicate genomes block on one evaluation instead of racing N
+// full simulations, and each distinct genome counts exactly one evaluation.
 func (e *Engine) fitness(genome []Edit) float64 {
 	key := GenomeKey(genome)
-	e.mu.Lock()
-	if f, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return f
+	sh := &e.shards[shardOf(key)]
+
+	sh.mu.Lock()
+	if ent, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-ent.done
+		return ent.ms
 	}
-	e.mu.Unlock()
+	ent := &fitnessEntry{done: make(chan struct{})}
+	sh.m[key] = ent
+	sh.mu.Unlock()
 
 	m := Variant(e.w.Base(), genome)
 	ms, err := e.w.Evaluate(m, e.cfg.Arch)
 	if err != nil {
 		ms = math.Inf(1)
 	}
-	e.mu.Lock()
-	e.cache[key] = ms
-	e.evals++
-	e.mu.Unlock()
+	ent.ms = ms
+	close(ent.done)
+	e.evals.Add(1)
 	return ms
 }
 
@@ -216,10 +261,20 @@ func (e *Engine) Run() (*Result, error) {
 	return &Result{
 		Best:        best,
 		BaseFitness: base,
-		Speedup:     base / best.Fitness,
+		Speedup:     speedupOf(base, best),
 		History:     hist,
-		Evaluations: e.evals,
+		Evaluations: int(e.evals.Load()),
 	}, nil
+}
+
+// speedupOf guards the headline ratio: an all-invalid population leaves
+// best.Fitness at +Inf, which must report 0 rather than a meaningless
+// quotient.
+func speedupOf(base float64, best Individual) float64 {
+	if !best.Valid() {
+		return 0
+	}
+	return base / best.Fitness
 }
 
 // Validate runs the workload's held-out validation on a genome, mirroring

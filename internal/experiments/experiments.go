@@ -201,7 +201,7 @@ func Fig6(sc Scale, simcov bool) ([]Fig6Run, string, error) {
 	for r := 0; r < sc.SearchRuns; r++ {
 		eng := core.NewEngine(w, core.Config{
 			Pop: sc.SearchPop, Elite: 2, Generations: sc.SearchGens,
-			MutationRate: 0.9, Seed: uint64(100 + r), Arch: gpu.P100,
+			CrossoverRate: 0.8, MutationRate: 0.9, Seed: uint64(100 + r), Arch: gpu.P100,
 		})
 		res, err := eng.Run()
 		if err != nil {
@@ -346,7 +346,7 @@ func Fig8(sc Scale, liveSearch bool) (string, error) {
 	if liveSearch {
 		eng := core.NewEngine(a, core.Config{
 			Pop: sc.SearchPop, Elite: 2, Generations: sc.SearchGens,
-			MutationRate: 0.9, Seed: 777, Arch: gpu.P100,
+			CrossoverRate: 0.8, MutationRate: 0.9, Seed: 777, Arch: gpu.P100,
 		})
 		res, err := eng.Run()
 		if err != nil {

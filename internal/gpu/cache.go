@@ -1,0 +1,190 @@
+package gpu
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"gevo/internal/ir"
+)
+
+// The compiled-program cache: the front end of the fast evaluation pipeline.
+// The evolutionary search evaluates the same program content many times — the
+// base module on every arch, duplicate genomes produced by crossover, and
+// distinct edit lists that collapse to the same phenotype — and verification
+// plus compilation are pure functions of module content. Prepare hashes the
+// module's executable form and compiles each distinct program exactly once;
+// concurrent requests for the same content single-flight behind the first.
+
+// ModuleKey is a content hash of a module's executable form: everything
+// Verify and Compile observe (functions, blocks, instructions, operands).
+// The pseudo-source listing is excluded — it does not affect execution.
+type ModuleKey [sha256.Size]byte
+
+// Program is a verified, fully compiled module. Kernels are immutable after
+// compilation, so one Program may be executed concurrently by many devices.
+type Program struct {
+	// Kernels holds the compiled kernels by function name.
+	Kernels map[string]*Kernel
+}
+
+var hashBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64<<10)
+	return &b
+}}
+
+// HashModule computes the content key of a module's executable form.
+func HashModule(m *ir.Module) ModuleKey {
+	bp := hashBufPool.Get().(*[]byte)
+	buf := appendModule((*bp)[:0], m)
+	key := ModuleKey(sha256.Sum256(buf))
+	*bp = buf
+	hashBufPool.Put(bp)
+	return key
+}
+
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendInt(b []byte, v int) []byte { return appendU64(b, uint64(int64(v))) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendInt(b, len(s))
+	return append(b, s...)
+}
+
+func appendOperand(b []byte, o ir.Operand) []byte {
+	b = append(b, byte(o.Kind), byte(o.Typ))
+	b = appendU64(b, o.Const)
+	b = appendInt(b, o.Ref)
+	return appendInt(b, o.Index)
+}
+
+func appendModule(b []byte, m *ir.Module) []byte {
+	b = appendStr(b, m.Name)
+	b = appendInt(b, len(m.Funcs))
+	for _, f := range m.Funcs {
+		b = appendStr(b, f.Name)
+		b = appendInt(b, len(f.Params))
+		for _, t := range f.Params {
+			b = append(b, byte(t))
+		}
+		b = appendInt(b, f.SharedBytes)
+		b = appendInt(b, f.NextUID)
+		b = appendInt(b, len(f.Blocks))
+		for _, blk := range f.Blocks {
+			b = appendStr(b, blk.Name)
+			b = appendInt(b, len(blk.Instrs))
+			for _, in := range blk.Instrs {
+				b = appendInt(b, in.UID)
+				b = append(b, byte(in.Op), byte(in.Typ), byte(in.Pred), byte(in.Space))
+				b = appendInt(b, in.Loc)
+				b = appendInt(b, len(in.Args))
+				for _, a := range in.Args {
+					b = appendOperand(b, a)
+				}
+				b = appendInt(b, len(in.Succs))
+				for _, s := range in.Succs {
+					b = appendStr(b, s)
+				}
+				b = appendInt(b, len(in.Inc))
+				for _, inc := range in.Inc {
+					b = appendStr(b, inc.Block)
+					b = appendOperand(b, inc.Val)
+				}
+			}
+		}
+	}
+	return b
+}
+
+const (
+	cacheShards = 16
+	// shardCapacity bounds each shard's LRU, so the cache holds at most
+	// cacheShards*shardCapacity compiled programs. The engine's fitness cache
+	// already deduplicates genomes, so hits come from re-evaluations of the
+	// same phenotype (base program across archs, validation re-runs, distinct
+	// edit lists collapsing to one program); a small bound captures those
+	// without letting a week-long search grow the cache unboundedly.
+	shardCapacity = 16
+)
+
+// programEntry is one cache slot. done is closed once prog/err are set;
+// later requesters for the same key block on it (single-flight).
+type programEntry struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+type programShard struct {
+	mu    sync.Mutex
+	items map[ModuleKey]*programEntry
+	order []ModuleKey // LRU order, most recently used last
+}
+
+// ProgramCache is a sharded, single-flight, bounded cache of compiled
+// programs keyed by module content.
+type ProgramCache struct {
+	shards [cacheShards]programShard
+}
+
+// NewProgramCache creates an empty cache.
+func NewProgramCache() *ProgramCache { return &ProgramCache{} }
+
+// DefaultProgramCache is the process-wide cache used by Prepare.
+var DefaultProgramCache = NewProgramCache()
+
+// Prepare verifies and compiles the module through the default cache.
+// Workloads call this once per evaluation; each distinct program content is
+// verified and compiled once per process, not once per evaluation.
+func Prepare(m *ir.Module) (*Program, error) { return DefaultProgramCache.Prepare(m) }
+
+// Prepare returns the verified, compiled form of the module, building it on
+// first sight of its content. Concurrent calls with identical content block
+// on one compilation instead of racing duplicates.
+func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
+	key := HashModule(m)
+	sh := &c.shards[key[0]&(cacheShards-1)]
+
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		sh.markUsed(key)
+		sh.mu.Unlock()
+		<-e.done
+		return e.prog, e.err
+	}
+	e := &programEntry{done: make(chan struct{})}
+	if sh.items == nil {
+		sh.items = make(map[ModuleKey]*programEntry, shardCapacity)
+	}
+	sh.items[key] = e
+	sh.order = append(sh.order, key)
+	if len(sh.order) > shardCapacity {
+		evicted := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.items, evicted)
+	}
+	sh.mu.Unlock()
+
+	if err := m.Verify(); err != nil {
+		e.err = err
+	} else if ks, err := CompileAll(m); err != nil {
+		e.err = err
+	} else {
+		e.prog = &Program{Kernels: ks}
+	}
+	close(e.done)
+	return e.prog, e.err
+}
+
+// markUsed moves the key to the back of the shard's LRU order. Caller holds
+// the shard lock.
+func (sh *programShard) markUsed(key ModuleKey) {
+	for i, k := range sh.order {
+		if k == key {
+			copy(sh.order[i:], sh.order[i+1:])
+			sh.order[len(sh.order)-1] = key
+			return
+		}
+	}
+}

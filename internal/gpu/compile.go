@@ -17,6 +17,9 @@ type Kernel struct {
 	blocks      []cblock
 	nslots      int
 	src         *ir.Function
+	// constLanes backs the pre-broadcast lane images of constant operands:
+	// 32 identical words per distinct constant value (see carg.pre).
+	constLanes []uint64
 }
 
 type argKind uint8
@@ -35,6 +38,61 @@ type carg struct {
 	cval uint64 // argConst
 	slot int32  // argReg: register slot
 	idx  int32  // argParam: parameter index; argSpecial: special code
+	// pre is the pre-broadcast 32-lane image of a constant operand, pointing
+	// into the kernel's constLanes table. The executor hands it out directly
+	// instead of materializing the constant once per executed instruction.
+	pre []uint64
+}
+
+// costClass indexes the per-arch issue-cost table resolved once per launch
+// (see resolveCosts). Assigning the class at compile time keeps compiled
+// kernels architecture-independent — they are shared across archs by the
+// program cache — while removing per-instruction cost dispatch from the
+// execution loop.
+type costClass uint8
+
+const (
+	costALU costClass = iota
+	costDiv
+	costFP
+	costConv
+	costShfl
+	costBallot
+	costActiveMask
+	costBranch
+	numCostClasses
+)
+
+func classifyCost(op ir.Opcode) costClass {
+	switch {
+	case op == ir.OpSDiv || op == ir.OpSRem:
+		return costDiv
+	case op.IsIntArith() || op == ir.OpNop:
+		return costALU
+	case op.IsFloatArith():
+		return costFP
+	case op == ir.OpShfl:
+		return costShfl
+	case op == ir.OpBallot:
+		return costBallot
+	case op == ir.OpActiveMask:
+		return costActiveMask
+	case op.IsTerminator():
+		return costBranch
+	default:
+		// Comparisons, selects and conversions; memory operations compute
+		// their cost dynamically and never read the table.
+		return costConv
+	}
+}
+
+// resolveCosts builds the issue-cost table for an architecture.
+func resolveCosts(a *Arch) [numCostClasses]float64 {
+	return [numCostClasses]float64{
+		costALU: a.IssueALU, costDiv: a.IssueDiv, costFP: a.IssueFP,
+		costConv: a.IssueConv, costShfl: a.ShflCost, costBallot: a.BallotCost,
+		costActiveMask: a.ActiveMaskCost, costBranch: a.BranchCost,
+	}
 }
 
 // cinstr is a decoded instruction.
@@ -43,6 +101,7 @@ type cinstr struct {
 	pred  ir.Pred
 	space ir.MemSpace
 	typ   ir.Type
+	cost  costClass
 	dst   int32 // register slot, -1 if void
 	args  []carg
 	succs [2]int32 // block indices for terminators
@@ -57,12 +116,25 @@ type phiCopy struct {
 	typ ir.Type
 }
 
+// phiEdge is the lowered parallel copy applied when one CFG edge is
+// traversed.
+type phiEdge struct {
+	copies []phiCopy
+	// snapshot marks edges whose copies interfere (one copy's destination
+	// slot is another's source register): those need two-phase application.
+	// Interference-free edges — the overwhelmingly common case — apply their
+	// copies directly.
+	snapshot bool
+}
+
 type cblock struct {
 	name string
 	ins  []cinstr
-	// phiFrom maps a predecessor block index to the parallel copies that
-	// realize this block's phis when entered from that predecessor.
-	phiFrom map[int32][]phiCopy
+	// phiFrom is indexed by predecessor block index and holds the parallel
+	// copy that realizes this block's phis when entered from that
+	// predecessor. A dense slice (not a map): edge transfers are on the
+	// execution hot path.
+	phiFrom []phiEdge
 	// ipdom is the reconvergence block index for branches out of this
 	// block; -1 means the virtual exit.
 	ipdom int32
@@ -122,7 +194,7 @@ func Compile(f *ir.Function) (*Kernel, error) {
 	for bi, b := range f.Blocks {
 		cb := &k.blocks[bi]
 		cb.name = b.Name
-		cb.phiFrom = make(map[int32][]phiCopy)
+		cb.phiFrom = make([]phiEdge, len(f.Blocks))
 		if ip := pdom.IPdom(b.Name); ip != "" {
 			cb.ipdom = blockIdx[ip]
 		} else {
@@ -148,13 +220,14 @@ func Compile(f *ir.Function) (*Kernel, error) {
 					if err != nil {
 						return nil, err
 					}
-					cb.phiFrom[pi] = append(cb.phiFrom[pi], phiCopy{dst: dst, src: src, typ: in.Typ})
+					cb.phiFrom[pi].copies = append(cb.phiFrom[pi].copies, phiCopy{dst: dst, src: src, typ: in.Typ})
 				}
 				continue
 			}
 			ci := cinstr{
 				op: in.Op, pred: in.Pred, space: in.Space, typ: in.Typ,
-				dst: -1, uid: int32(in.UID), loc: int32(in.Loc),
+				cost: classifyCost(in.Op),
+				dst:  -1, uid: int32(in.UID), loc: int32(in.Loc),
 			}
 			if in.Typ != ir.Void {
 				ci.dst = slots[in.UID]
@@ -182,7 +255,83 @@ func Compile(f *ir.Function) (*Kernel, error) {
 			return nil, fmt.Errorf("gpu: compile %s: block %q lacks a terminator", f.Name, b.Name)
 		}
 	}
+	finalizeKernel(k)
 	return k, nil
+}
+
+// finalizeKernel runs the post-passes of the pre-decoded representation:
+// classify phi edges as snapshot-free where possible and pre-broadcast every
+// distinct constant operand into a 32-lane image the executor can hand out
+// without per-instruction materialization.
+func finalizeKernel(k *Kernel) {
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ei := range cb.phiFrom {
+			cb.phiFrom[ei].snapshot = edgeNeedsSnapshot(cb.phiFrom[ei].copies)
+		}
+	}
+
+	constOff := make(map[uint64]int)
+	walkArgs(k, func(a *carg) {
+		if a.kind == argConst {
+			if _, ok := constOff[a.cval]; !ok {
+				constOff[a.cval] = len(constOff)
+			}
+		}
+	})
+	k.constLanes = make([]uint64, len(constOff)*warpSize)
+	for v, off := range constOff {
+		lanes := k.constLanes[off*warpSize : (off+1)*warpSize]
+		for l := range lanes {
+			lanes[l] = v
+		}
+	}
+	walkArgs(k, func(a *carg) {
+		if a.kind == argConst {
+			off := constOff[a.cval] * warpSize
+			a.pre = k.constLanes[off : off+warpSize : off+warpSize]
+		}
+	})
+}
+
+// walkArgs visits every resolved operand of the kernel, including phi-copy
+// sources.
+func walkArgs(k *Kernel, visit func(*carg)) {
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ii := range cb.ins {
+			args := cb.ins[ii].args
+			for ai := range args {
+				visit(&args[ai])
+			}
+		}
+		for ei := range cb.phiFrom {
+			copies := cb.phiFrom[ei].copies
+			for ci := range copies {
+				visit(&copies[ci].src)
+			}
+		}
+	}
+}
+
+// edgeNeedsSnapshot reports whether a parallel copy reads a register another
+// of its copies writes (a pure self-copy is order-independent and excluded).
+func edgeNeedsSnapshot(copies []phiCopy) bool {
+	for i := range copies {
+		src := &copies[i].src
+		if src.kind != argReg {
+			continue
+		}
+		for j := range copies {
+			if i == j {
+				continue
+			}
+			if copies[j].dst == src.slot {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // NumSlots returns the number of virtual registers the kernel uses; the

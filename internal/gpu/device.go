@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"gevo/internal/ir"
 )
@@ -15,10 +16,21 @@ import (
 // figure's "other application" region), while accesses outside the arena
 // fault — so the boundary-check-removal optimization passes on small grids
 // and segfaults once the grid fills device memory.
+//
+// A Device is not safe for concurrent use: it owns a bump allocator and the
+// reusable per-launch execution state. Concurrent evaluations each acquire
+// their own device.
 type Device struct {
 	Arch *Arch
 	mem  []byte
 	off  int
+	// dirtyHi is the high-water mark of arena writes (stores, atomics, host
+	// copies). Recycling a pooled device only has to clear [0, dirtyHi) to
+	// restore the all-zero arena a fresh device guarantees.
+	dirtyHi int64
+	// launch holds per-launch execution state (register file, warps, shared
+	// memory) reused across launches on this device.
+	launch launchState
 }
 
 // NewDevice creates a device with the architecture's default arena capacity.
@@ -31,6 +43,55 @@ func NewDevice(arch *Arch) *Device {
 // this to size the arena against their allocations.
 func NewDeviceWithMem(arch *Arch, capacity int) *Device {
 	return &Device{Arch: arch, mem: make([]byte, capacity)}
+}
+
+// devicePools holds per-capacity free lists of recycled devices. Pooling
+// avoids re-allocating (and re-faulting) the multi-megabyte arena on every
+// evaluation — the dominant cost of the naive evaluate loop.
+var devicePools sync.Map // capacity int -> *sync.Pool
+
+func poolFor(capacity int) *sync.Pool {
+	p, ok := devicePools.Load(capacity)
+	if !ok {
+		p, _ = devicePools.LoadOrStore(capacity, new(sync.Pool))
+	}
+	return p.(*sync.Pool)
+}
+
+// AcquireDevice returns a device with the architecture's default arena
+// capacity, recycled from the pool when available. The arena is guaranteed
+// all-zero with no allocations, exactly like NewDevice. Callers release it
+// with Release when the evaluation is done.
+func AcquireDevice(arch *Arch) *Device { return AcquireDeviceWithMem(arch, arch.MemBytes) }
+
+// AcquireDeviceWithMem is AcquireDevice with an explicit arena capacity.
+func AcquireDeviceWithMem(arch *Arch, capacity int) *Device {
+	if v := poolFor(capacity).Get(); v != nil {
+		d := v.(*Device)
+		d.Arch = arch
+		return d
+	}
+	return NewDeviceWithMem(arch, capacity)
+}
+
+// Release scrubs the device (zeroing only the written span of the arena) and
+// returns it to the pool for reuse. The device must not be used afterwards.
+func (d *Device) Release() {
+	d.Reset()
+	// Drop references held from the last launch so pooled devices do not pin
+	// compiled kernels, profiles or caller argument slices in memory.
+	d.launch.ctx.k = nil
+	d.launch.ctx.prof = nil
+	d.launch.ctx.args = nil
+	d.launch.ctx.budget = nil
+	poolFor(len(d.mem)).Put(d)
+}
+
+// touch records an arena write ending at addr end (exclusive).
+func (d *Device) touch(end int64) {
+	if end > d.dirtyHi {
+		d.dirtyHi = end
+	}
 }
 
 // MemBytes returns the arena capacity.
@@ -54,10 +115,12 @@ func (d *Device) Alloc(n int) (int64, error) {
 	return int64(base), nil
 }
 
-// Reset releases all allocations and zeroes the arena.
+// Reset releases all allocations and zeroes the arena. Only the span written
+// since the last reset is cleared; untouched arena bytes are zero already.
 func (d *Device) Reset() {
 	d.off = 0
-	clear(d.mem)
+	clear(d.mem[:d.dirtyHi])
+	d.dirtyHi = 0
 }
 
 // Memset fills n bytes at base with v.
@@ -68,6 +131,7 @@ func (d *Device) Memset(base int64, v byte, n int) error {
 	for i := int64(0); i < int64(n); i++ {
 		d.mem[base+i] = v
 	}
+	d.touch(base + int64(n))
 	return nil
 }
 
@@ -77,6 +141,7 @@ func (d *Device) CopyIn(base int64, data []byte) error {
 		return &FaultError{Addr: base, Op: "copyin"}
 	}
 	copy(d.mem[base:], data)
+	d.touch(base + int64(len(data)))
 	return nil
 }
 
@@ -160,6 +225,7 @@ func (d *Device) store(t ir.Type, addr int64, v uint64) bool {
 		return false
 	}
 	storeMem(d.mem, t, addr, v)
+	d.touch(addr + n)
 	return true
 }
 

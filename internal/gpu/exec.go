@@ -13,6 +13,11 @@ import (
 // masks and both are charged cycles — the mechanism behind the paper's
 // Section VI-A finding that a divergent fast-path/slow-path split can lose
 // to a uniform slow path.
+//
+// The interpreter is the innermost loop of the evaluation pipeline: operand
+// kinds are resolved once per executed instruction (argLanes), not once per
+// lane, active lanes are visited by mask bit iteration, and per-instruction
+// issue costs come from a table resolved at launch (see costClass).
 
 const warpSize = 32
 
@@ -44,6 +49,11 @@ type warp struct {
 	done     bool
 	doneMask uint32
 	initMask uint32
+	// tidLanes and idLanes are the pre-broadcast lane images of the TID and
+	// warp-id special registers (tidLanes refilled per block, idLanes per
+	// launch).
+	tidLanes [warpSize]uint64
+	idLanes  [warpSize]uint64
 }
 
 // blockCtx is the execution context of one thread block.
@@ -59,38 +69,82 @@ type blockCtx struct {
 	warps    []*warp
 	prof     *Profile
 	budget   *int64
+	// costs is the architecture's issue-cost table indexed by costClass,
+	// resolved once per launch.
+	costs [numCostClasses]float64
+	// paramLanes holds the pre-broadcast lane image of each kernel parameter
+	// (len(args)*32, filled once per launch).
+	paramLanes []uint64
+	// bidLanes, bdimLanes and gdimLanes are the pre-broadcast lane images of
+	// the uniform special registers (bidLanes refilled per block, the grid
+	// geometry per launch).
+	bidLanes  [warpSize]uint64
+	bdimLanes [warpSize]uint64
+	gdimLanes [warpSize]uint64
 	// scratch buffers reused across instructions
-	addrs  [warpSize]int64
-	lanes  [warpSize]int
-	phiTmp []uint64
+	addrs    [warpSize]int64
+	lanes    [warpSize]int
+	bankWord [warpSize]int64
+	phiTmp   []uint64
 }
 
-func (c *blockCtx) readArg(w *warp, a *carg, lane int) uint64 {
+// laneLanes and zeroLanes are the static lane images of the lane-id special
+// register and of unknown specials.
+var laneLanes, zeroLanes [warpSize]uint64
+
+func init() {
+	for i := range laneLanes {
+		laneLanes[i] = uint64(int64(i))
+	}
+}
+
+// fillLanes broadcasts one value across a 32-lane image.
+func fillLanes(buf *[warpSize]uint64, v uint64) {
+	for i := range buf {
+		buf[i] = v
+	}
+}
+
+// argLanes returns a warpSize-long slice holding the operand's value for
+// every lane — without materializing anything. Register operands alias the
+// warp's register file; constants were pre-broadcast at compile time;
+// parameters and special registers were pre-broadcast at launch or block
+// setup. The returned slices are read-only to the executor.
+func (c *blockCtx) argLanes(w *warp, a *carg) []uint64 {
 	switch a.kind {
-	case argConst:
-		return a.cval
 	case argReg:
-		return w.regs[int(a.slot)*warpSize+lane]
+		s := int(a.slot) * warpSize
+		return w.regs[s : s+warpSize : s+warpSize]
+	case argConst:
+		return a.pre
 	case argParam:
-		return c.args[a.idx]
+		p := int(a.idx) * warpSize
+		return c.paramLanes[p : p+warpSize : p+warpSize]
 	default: // argSpecial
 		switch ir.Special(a.idx) {
 		case ir.SpecialTID:
-			return uint64(int64(w.tidBase) + int64(lane))
-		case ir.SpecialBID:
-			return uint64(int64(c.blockID))
-		case ir.SpecialBDim:
-			return uint64(int64(c.blockDim))
-		case ir.SpecialGDim:
-			return uint64(int64(c.gridDim))
+			return w.tidLanes[:]
 		case ir.SpecialLane:
-			return uint64(int64(lane))
+			return laneLanes[:]
+		case ir.SpecialBID:
+			return c.bidLanes[:]
+		case ir.SpecialBDim:
+			return c.bdimLanes[:]
+		case ir.SpecialGDim:
+			return c.gdimLanes[:]
 		case ir.SpecialWarp:
-			return uint64(int64(w.id))
+			return w.idLanes[:]
 		default:
-			return 0
+			return zeroLanes[:]
 		}
 	}
+}
+
+// dstLanes returns the destination register slice of a value-producing
+// instruction.
+func dstLanes(w *warp, in *cinstr) []uint64 {
+	d := int(in.dst) * warpSize
+	return w.regs[d : d+warpSize : d+warpSize]
 }
 
 // account charges cycles to the warp and, when profiling, to the
@@ -122,8 +176,24 @@ func (c *blockCtx) memPenalty(w *warp) float64 {
 // applyPhis performs the parallel phi copies for the edge from→to under the
 // given mask.
 func (c *blockCtx) applyPhis(w *warp, from, to int32, mask uint32) {
-	copies := c.k.blocks[to].phiFrom[from]
+	edge := &c.k.blocks[to].phiFrom[from]
+	copies := edge.copies
 	if len(copies) == 0 {
+		return
+	}
+	if !edge.snapshot {
+		// Interference-free edge (determined at compile time): apply the
+		// copies in order, no snapshot needed.
+		for i := range copies {
+			src := c.argLanes(w, &copies[i].src)
+			d := int(copies[i].dst) * warpSize
+			dl := w.regs[d : d+warpSize : d+warpSize]
+			for m := mask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				dl[lane] = src[lane]
+			}
+		}
+		w.cycles += c.arch.IssueALU * float64(len(copies))
 		return
 	}
 	// Parallel-copy semantics: snapshot all sources before writing any
@@ -134,19 +204,17 @@ func (c *blockCtx) applyPhis(w *warp, from, to int32, mask uint32) {
 	}
 	tmp := c.phiTmp[:need]
 	for i := range copies {
-		src := &copies[i].src
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 {
-				tmp[i*warpSize+lane] = c.readArg(w, src, lane)
-			}
-		}
+		src := c.argLanes(w, &copies[i].src)
+		// Inactive lanes are snapshotted too but never written back.
+		copy(tmp[i*warpSize:(i+1)*warpSize], src)
 	}
 	for i := range copies {
-		dst := int(copies[i].dst) * warpSize
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 {
-				w.regs[dst+lane] = tmp[i*warpSize+lane]
-			}
+		d := int(copies[i].dst) * warpSize
+		dl := w.regs[d : d+warpSize : d+warpSize]
+		t := tmp[i*warpSize:]
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			dl[lane] = t[lane]
 		}
 	}
 	w.cycles += c.arch.IssueALU * float64(len(copies))
@@ -200,8 +268,11 @@ func (c *blockCtx) diverge(w *warp, in *cinstr, maskT, maskF uint32, r int32) {
 const maxStackDepth = 4096
 
 // runWarp executes the warp until it parks at a barrier, retires, or errs.
+// The dynamic-instruction budget is kept in a local and written back on
+// every exit so the shared counter stays exact across warps.
 func (c *blockCtx) runWarp(w *warp) error {
-	arch := c.arch
+	bud := *c.budget
+	defer func() { *c.budget = bud }()
 	for {
 		if len(w.stack) == 0 {
 			w.done = true
@@ -218,223 +289,273 @@ func (c *blockCtx) runWarp(w *warp) error {
 			continue
 		}
 		blk := &c.k.blocks[e.block]
-		if int(e.pc) >= len(blk.ins) {
-			return &ExecError{Kernel: c.k.Name, Msg: "fell off block " + blk.name}
-		}
-		in := &blk.ins[e.pc]
-		*c.budget--
-		if *c.budget <= 0 {
-			return &TimeoutError{Kernel: c.k.Name}
-		}
+		// Straight-line fast path: non-control instructions leave the SIMT
+		// stack untouched, so e, blk and the active mask stay valid until a
+		// terminator or barrier ends the run.
+	straight:
+		for {
+			if int(e.pc) >= len(blk.ins) {
+				return &ExecError{Kernel: c.k.Name, Msg: "fell off block " + blk.name}
+			}
+			in := &blk.ins[e.pc]
+			bud--
+			if bud <= 0 {
+				return &TimeoutError{Kernel: c.k.Name}
+			}
 
-		switch in.op {
-		case ir.OpBarrier:
-			e.pc++
-			w.waiting = true
-			return nil
-		case ir.OpRet:
-			c.account(w, in, arch.BranchCost, e.mask)
-			w.doneMask |= e.mask
-			w.stack = w.stack[:ei]
-		case ir.OpBr:
-			c.account(w, in, arch.BranchCost, e.mask)
-			c.transfer(w, in.succs[0])
-		case ir.OpCondBr:
-			cond := &in.args[0]
-			var maskT uint32
-			for lane := 0; lane < warpSize; lane++ {
-				if e.mask&(1<<lane) != 0 && c.readArg(w, cond, lane)&1 != 0 {
-					maskT |= 1 << lane
-				}
-			}
-			maskF := e.mask &^ maskT
-			switch {
-			case maskF == 0:
-				c.account(w, in, arch.BranchCost, e.mask)
+			switch in.op {
+			case ir.OpBarrier:
+				e.pc++
+				w.waiting = true
+				return nil
+			case ir.OpRet:
+				c.account(w, in, c.costs[costBranch], e.mask)
+				w.doneMask |= e.mask
+				w.stack = w.stack[:ei]
+				break straight
+			case ir.OpBr:
+				c.account(w, in, c.costs[costBranch], e.mask)
 				c.transfer(w, in.succs[0])
-			case maskT == 0:
-				c.account(w, in, arch.BranchCost, e.mask)
-				c.transfer(w, in.succs[1])
+				break straight
+			case ir.OpCondBr:
+				cond := c.argLanes(w, &in.args[0])
+				var maskT uint32
+				for m := e.mask; m != 0; m &= m - 1 {
+					lane := bits.TrailingZeros32(m)
+					maskT |= uint32(cond[lane]&1) << lane
+				}
+				maskF := e.mask &^ maskT
+				switch {
+				case maskF == 0:
+					c.account(w, in, c.costs[costBranch], e.mask)
+					c.transfer(w, in.succs[0])
+				case maskT == 0:
+					c.account(w, in, c.costs[costBranch], e.mask)
+					c.transfer(w, in.succs[1])
+				default:
+					c.account(w, in, c.costs[costBranch]+c.arch.DivergePenalty, e.mask)
+					c.diverge(w, in, maskT, maskF, blk.ipdom)
+				}
+				break straight
 			default:
-				c.account(w, in, arch.BranchCost+arch.DivergePenalty, e.mask)
-				c.diverge(w, in, maskT, maskF, blk.ipdom)
+				if err := c.execInstr(w, e, in); err != nil {
+					return err
+				}
+				e.pc++
 			}
-		default:
-			if err := c.execInstr(w, e, in); err != nil {
-				return err
-			}
-			// e may be stale if execInstr grew the stack; it cannot, but
-			// reload defensively via index.
-			w.stack[ei].pc++
 		}
 	}
 }
 
-// execInstr executes one non-control instruction under the entry's mask.
+// execInstr executes one non-control instruction under the entry's mask. The
+// opcode dispatch happens once per instruction; the per-lane loops below are
+// tight mask-bit iterations over pre-resolved operand slices.
 func (c *blockCtx) execInstr(w *warp, e *simtEntry, in *cinstr) error {
-	arch := c.arch
 	mask := e.mask
-	dst := int(in.dst) * warpSize
 
 	switch {
 	case in.op.IsIntArith():
-		a, b := &in.args[0], &in.args[1]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
+		s1 := c.argLanes(w, &in.args[0])
+		s2 := c.argLanes(w, &in.args[1])
+		dl := dstLanes(w, in)
+		t := in.typ
+		switch in.op {
+		case ir.OpAdd:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(int64(s1[l])+int64(s2[l])))
 			}
-			x := int64(c.readArg(w, a, lane))
-			y := int64(c.readArg(w, b, lane))
-			var r int64
-			switch in.op {
-			case ir.OpAdd:
-				r = x + y
-			case ir.OpSub:
-				r = x - y
-			case ir.OpMul:
-				r = x * y
-			case ir.OpSDiv:
-				if y != 0 {
-					r = x / y
-				}
-			case ir.OpSRem:
-				if y != 0 {
-					r = x % y
-				}
-			case ir.OpAnd:
-				r = x & y
-			case ir.OpOr:
-				r = x | y
-			case ir.OpXor:
-				r = x ^ y
-			case ir.OpShl:
-				r = x << (uint64(y) & 63)
-			case ir.OpLShr:
-				r = int64(zextBits(in.typ, uint64(x)) >> (uint64(y) & 63))
-			case ir.OpAShr:
-				r = x >> (uint64(y) & 63)
-			case ir.OpSMin:
-				r = min(x, y)
-			case ir.OpSMax:
-				r = max(x, y)
+		case ir.OpSub:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(int64(s1[l])-int64(s2[l])))
 			}
-			w.regs[dst+lane] = normValue(in.typ, uint64(r))
+		case ir.OpMul:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(int64(s1[l])*int64(s2[l])))
+			}
+		case ir.OpSDiv:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				var r int64
+				if y := int64(s2[l]); y != 0 {
+					r = int64(s1[l]) / y
+				}
+				dl[l] = normValue(t, uint64(r))
+			}
+		case ir.OpSRem:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				var r int64
+				if y := int64(s2[l]); y != 0 {
+					r = int64(s1[l]) % y
+				}
+				dl[l] = normValue(t, uint64(r))
+			}
+		case ir.OpAnd:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, s1[l]&s2[l])
+			}
+		case ir.OpOr:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, s1[l]|s2[l])
+			}
+		case ir.OpXor:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, s1[l]^s2[l])
+			}
+		case ir.OpShl:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, s1[l]<<(s2[l]&63))
+			}
+		case ir.OpLShr:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, zextBits(t, s1[l])>>(s2[l]&63))
+			}
+		case ir.OpAShr:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(int64(s1[l])>>(s2[l]&63)))
+			}
+		case ir.OpSMin:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(min(int64(s1[l]), int64(s2[l]))))
+			}
+		case ir.OpSMax:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = normValue(t, uint64(max(int64(s1[l]), int64(s2[l]))))
+			}
 		}
-		if in.op == ir.OpSDiv || in.op == ir.OpSRem {
-			c.account(w, in, arch.IssueDiv, mask)
-		} else {
-			c.account(w, in, arch.IssueALU, mask)
-		}
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op.IsFloatArith():
-		a, b := &in.args[0], &in.args[1]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
+		s1 := c.argLanes(w, &in.args[0])
+		s2 := c.argLanes(w, &in.args[1])
+		dl := dstLanes(w, in)
+		switch in.op {
+		case ir.OpFAdd:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Float64frombits(s1[l]) + math.Float64frombits(s2[l]))
 			}
-			x := math.Float64frombits(c.readArg(w, a, lane))
-			y := math.Float64frombits(c.readArg(w, b, lane))
-			var r float64
-			switch in.op {
-			case ir.OpFAdd:
-				r = x + y
-			case ir.OpFSub:
-				r = x - y
-			case ir.OpFMul:
-				r = x * y
-			case ir.OpFDiv:
-				r = x / y
-			case ir.OpFMin:
-				r = math.Min(x, y)
-			case ir.OpFMax:
-				r = math.Max(x, y)
+		case ir.OpFSub:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Float64frombits(s1[l]) - math.Float64frombits(s2[l]))
 			}
-			w.regs[dst+lane] = math.Float64bits(r)
+		case ir.OpFMul:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Float64frombits(s1[l]) * math.Float64frombits(s2[l]))
+			}
+		case ir.OpFDiv:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Float64frombits(s1[l]) / math.Float64frombits(s2[l]))
+			}
+		case ir.OpFMin:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Min(math.Float64frombits(s1[l]), math.Float64frombits(s2[l])))
+			}
+		case ir.OpFMax:
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros32(m)
+				dl[l] = math.Float64bits(math.Max(math.Float64frombits(s1[l]), math.Float64frombits(s2[l])))
+			}
 		}
-		c.account(w, in, arch.IssueFP, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpICmp:
-		a, b := &in.args[0], &in.args[1]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			x := int64(c.readArg(w, a, lane))
-			y := int64(c.readArg(w, b, lane))
-			w.regs[dst+lane] = boolBit(cmpInt(in.pred, x, y))
+		s1 := c.argLanes(w, &in.args[0])
+		s2 := c.argLanes(w, &in.args[1])
+		dl := dstLanes(w, in)
+		pred := in.pred
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = boolBit(cmpInt(pred, int64(s1[l]), int64(s2[l])))
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpFCmp:
-		a, b := &in.args[0], &in.args[1]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			x := math.Float64frombits(c.readArg(w, a, lane))
-			y := math.Float64frombits(c.readArg(w, b, lane))
-			w.regs[dst+lane] = boolBit(cmpFloat(in.pred, x, y))
+		s1 := c.argLanes(w, &in.args[0])
+		s2 := c.argLanes(w, &in.args[1])
+		dl := dstLanes(w, in)
+		pred := in.pred
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = boolBit(cmpFloat(pred, math.Float64frombits(s1[l]), math.Float64frombits(s2[l])))
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpSelect:
-		cnd, tv, fv := &in.args[0], &in.args[1], &in.args[2]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			if c.readArg(w, cnd, lane)&1 != 0 {
-				w.regs[dst+lane] = c.readArg(w, tv, lane)
+		cnd := c.argLanes(w, &in.args[0])
+		tv := c.argLanes(w, &in.args[1])
+		fv := c.argLanes(w, &in.args[2])
+		dl := dstLanes(w, in)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			if cnd[l]&1 != 0 {
+				dl[l] = tv[l]
 			} else {
-				w.regs[dst+lane] = c.readArg(w, fv, lane)
+				dl[l] = fv[l]
 			}
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpZext:
 		a := &in.args[0]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			w.regs[dst+lane] = normValue(in.typ, zextBits(a.typ, c.readArg(w, a, lane)))
+		at := a.typ
+		s := c.argLanes(w, a)
+		dl := dstLanes(w, in)
+		t := in.typ
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = normValue(t, zextBits(at, s[l]))
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpSext || in.op == ir.OpTrunc:
-		a := &in.args[0]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			w.regs[dst+lane] = normValue(in.typ, c.readArg(w, a, lane))
+		s := c.argLanes(w, &in.args[0])
+		dl := dstLanes(w, in)
+		t := in.typ
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = normValue(t, s[l])
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpSIToFP:
-		a := &in.args[0]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			w.regs[dst+lane] = math.Float64bits(float64(int64(c.readArg(w, a, lane))))
+		s := c.argLanes(w, &in.args[0])
+		dl := dstLanes(w, in)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = math.Float64bits(float64(int64(s[l])))
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpFPToSI:
-		a := &in.args[0]
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			f := math.Float64frombits(c.readArg(w, a, lane))
+		s := c.argLanes(w, &in.args[0])
+		dl := dstLanes(w, in)
+		t := in.typ
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			f := math.Float64frombits(s[l])
 			var v int64
 			if !math.IsNaN(f) {
 				v = int64(f)
 			}
-			w.regs[dst+lane] = normValue(in.typ, uint64(v))
+			dl[l] = normValue(t, uint64(v))
 		}
-		c.account(w, in, arch.IssueConv, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpLoad:
 		return c.execLoad(w, e, in)
@@ -447,50 +568,50 @@ func (c *blockCtx) execInstr(w *warp, e *simtEntry, in *cinstr) error {
 		return c.execAtomic(w, e, in)
 
 	case in.op == ir.OpShfl:
-		val, ln := &in.args[0], &in.args[1]
+		sv := c.argLanes(w, &in.args[0])
+		sl := c.argLanes(w, &in.args[1])
+		dl := dstLanes(w, in)
 		var tmp [warpSize]uint64
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) == 0 {
-				continue
-			}
-			src := int(int64(c.readArg(w, ln, lane))) & (warpSize - 1)
-			tmp[lane] = c.readArg(w, val, src)
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			src := int(int64(sl[l])) & (warpSize - 1)
+			tmp[l] = sv[src]
 		}
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 {
-				w.regs[dst+lane] = tmp[lane]
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = tmp[l]
 		}
-		c.account(w, in, arch.ShflCost, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpBallot:
-		p := &in.args[0]
+		p := c.argLanes(w, &in.args[0])
+		dl := dstLanes(w, in)
 		var res uint32
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 && c.readArg(w, p, lane)&1 != 0 {
-				res |= 1 << lane
-			}
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			res |= uint32(p[l]&1) << l
 		}
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 {
-				w.regs[dst+lane] = uint64(int64(int32(res)))
-			}
+		v := uint64(int64(int32(res)))
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = v
 		}
 		// On Volta, ballot_sync forces the subdivided warp to reconverge;
 		// on Pascal warps execute in strict lock-step and the query is
 		// nearly free (Section VI-B).
-		c.account(w, in, arch.BallotCost, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpActiveMask:
-		for lane := 0; lane < warpSize; lane++ {
-			if mask&(1<<lane) != 0 {
-				w.regs[dst+lane] = uint64(int64(int32(mask)))
-			}
+		dl := dstLanes(w, in)
+		v := uint64(int64(int32(mask)))
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros32(m)
+			dl[l] = v
 		}
-		c.account(w, in, arch.ActiveMaskCost, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	case in.op == ir.OpNop:
-		c.account(w, in, arch.IssueALU, mask)
+		c.account(w, in, c.costs[in.cost], mask)
 
 	default:
 		return &ExecError{Kernel: c.k.Name, Msg: "unexpected opcode " + in.op.String()}
@@ -501,8 +622,7 @@ func (c *blockCtx) execInstr(w *warp, e *simtEntry, in *cinstr) error {
 func (c *blockCtx) execLoad(w *warp, e *simtEntry, in *cinstr) error {
 	mask := e.mask
 	dst := int(in.dst) * warpSize
-	addrArg := &in.args[0]
-	n := c.gatherAddrs(w, addrArg, mask)
+	n := c.gatherAddrs(w, &in.args[0], mask)
 	if in.space == ir.SpaceShared {
 		size := int64(in.typ.Size())
 		for i := 0; i < n; i++ {
@@ -528,8 +648,9 @@ func (c *blockCtx) execLoad(w *warp, e *simtEntry, in *cinstr) error {
 
 func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
 	mask := e.mask
-	valArg, addrArg := &in.args[0], &in.args[1]
-	n := c.gatherAddrs(w, addrArg, mask)
+	valArg := &in.args[0]
+	n := c.gatherAddrs(w, &in.args[1], mask)
+	vals := c.argLanes(w, valArg)
 	t := valArg.typ
 	if in.space == ir.SpaceShared {
 		size := int64(t.Size())
@@ -538,13 +659,13 @@ func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
 			if a < 0 || a+size > int64(len(c.shared)) {
 				return &FaultError{Kernel: c.k.Name, Addr: a, Op: "shared store", UID: int(in.uid)}
 			}
-			storeMem(c.shared, t, a, c.readArg(w, valArg, c.lanes[i]))
+			storeMem(c.shared, t, a, vals[c.lanes[i]])
 		}
 		c.account(w, in, c.sharedCost(n), mask)
 		return nil
 	}
 	for i := 0; i < n; i++ {
-		if !c.d.store(t, c.addrs[i], c.readArg(w, valArg, c.lanes[i])) {
+		if !c.d.store(t, c.addrs[i], vals[c.lanes[i]]) {
 			return &FaultError{Kernel: c.k.Name, Addr: c.addrs[i], Op: "global store", UID: int(in.uid)}
 		}
 	}
@@ -554,17 +675,22 @@ func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
 
 func (c *blockCtx) execAtomic(w *warp, e *simtEntry, in *cinstr) error {
 	mask := e.mask
-	addrArg := &in.args[0]
-	n := c.gatherAddrs(w, addrArg, mask)
+	n := c.gatherAddrs(w, &in.args[0], mask)
+	arg1 := c.argLanes(w, &in.args[1])
+	var arg2 []uint64
+	if in.op == ir.OpAtomicCAS {
+		arg2 = c.argLanes(w, &in.args[2])
+	}
 	dst := int(in.dst) * warpSize
 	t := in.typ
 	size := int64(t.Size())
 
 	var mem []byte
-	if in.space == ir.SpaceShared {
-		mem = c.shared
-	} else {
+	global := in.space != ir.SpaceShared
+	if global {
 		mem = c.d.mem
+	} else {
+		mem = c.shared
 	}
 	// Lanes commit in ascending lane order: a deterministic stand-in for the
 	// hardware's unspecified intra-warp atomic ordering (the SIMCoV race of
@@ -579,20 +705,22 @@ func (c *blockCtx) execAtomic(w *warp, e *simtEntry, in *cinstr) error {
 		var newVal uint64
 		switch in.op {
 		case ir.OpAtomicAdd:
-			newVal = normValue(t, uint64(int64(old)+int64(c.readArg(w, &in.args[1], lane))))
+			newVal = normValue(t, uint64(int64(old)+int64(arg1[lane])))
 		case ir.OpAtomicMax:
-			newVal = normValue(t, uint64(max(int64(old), int64(c.readArg(w, &in.args[1], lane)))))
+			newVal = normValue(t, uint64(max(int64(old), int64(arg1[lane]))))
 		case ir.OpAtomicExch:
-			newVal = normValue(t, c.readArg(w, &in.args[1], lane))
+			newVal = normValue(t, arg1[lane])
 		case ir.OpAtomicCAS:
-			expected := c.readArg(w, &in.args[1], lane)
-			if old == expected {
-				newVal = normValue(t, c.readArg(w, &in.args[2], lane))
+			if old == arg1[lane] {
+				newVal = normValue(t, arg2[lane])
 			} else {
 				newVal = old
 			}
 		}
 		storeMem(mem, t, a, newVal)
+		if global {
+			c.d.touch(a + size)
+		}
 		w.regs[dst+lane] = old
 	}
 	cost := c.arch.AtomicCost + float64(maxContention(c.addrs[:n])-1)*c.arch.AtomicSerialCost
@@ -603,12 +731,11 @@ func (c *blockCtx) execAtomic(w *warp, e *simtEntry, in *cinstr) error {
 // gatherAddrs collects the addresses of active lanes into c.addrs/c.lanes
 // and returns the count.
 func (c *blockCtx) gatherAddrs(w *warp, addrArg *carg, mask uint32) int {
+	src := c.argLanes(w, addrArg)
 	n := 0
-	for lane := 0; lane < warpSize; lane++ {
-		if mask&(1<<lane) == 0 {
-			continue
-		}
-		c.addrs[n] = int64(c.readArg(w, addrArg, lane))
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		c.addrs[n] = int64(src[lane])
 		c.lanes[n] = lane
 		n++
 	}
@@ -619,6 +746,28 @@ func (c *blockCtx) gatherAddrs(w *warp, addrArg *carg, mask uint32) int {
 // lanes hitting distinct words in the same bank serialize into replays.
 // Lanes hitting the same word broadcast (no replay).
 func (c *blockCtx) sharedCost(n int) float64 {
+	// Fast path: every bank is touched by at most one distinct word
+	// (conflict-free access or pure broadcast), the common case for
+	// well-formed kernels. One pass, no replay accounting needed.
+	var seen uint32
+	for i := 0; i < n; i++ {
+		word := c.addrs[i] >> 2
+		b := int(word & 31)
+		if seen&(1<<b) == 0 {
+			seen |= 1 << b
+			c.bankWord[b] = word
+		} else if c.bankWord[b] != word {
+			return c.sharedCostSlow(n)
+		}
+	}
+	return c.arch.SharedLatency
+}
+
+// sharedCostSlow charges replays for conflicting access patterns. It keeps
+// the original model bit-identical: a lane's replay count includes every
+// earlier same-bank lane with a different word, so duplicate broadcast lanes
+// in a conflicted bank weigh into the count.
+func (c *blockCtx) sharedCostSlow(n int) float64 {
 	maxReplay := 1
 	for i := 0; i < n; i++ {
 		word := c.addrs[i] >> 2
@@ -643,6 +792,11 @@ func (c *blockCtx) globalCost(n int) float64 {
 	segs := 0
 	for i := 0; i < n; i++ {
 		si := c.addrs[i] >> 7
+		if i > 0 && c.addrs[i-1]>>7 == si {
+			// Same segment as the previous lane (the coalesced common case):
+			// already counted or already deduplicated.
+			continue
+		}
 		dup := false
 		for j := 0; j < i; j++ {
 			if c.addrs[j]>>7 == si {

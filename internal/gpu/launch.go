@@ -48,6 +48,30 @@ func ArgI(v int64) uint64 { return uint64(v) }
 // ArgF packs a float kernel argument.
 func ArgF(v float64) uint64 { return math.Float64bits(v) }
 
+// launchState is the reusable per-launch execution state of a device: the
+// register file, warp structures and shared-memory image. Reuse across
+// launches (and, via the device pool, across evaluations) removes the
+// per-launch allocation churn of the naive evaluate loop; all of it is
+// re-initialized at block start, so reuse cannot leak state between launches.
+type launchState struct {
+	ctx         blockCtx
+	regs        []uint64
+	warps       []warp
+	warpPtrs    []*warp
+	blockCycles []float64
+	shared      []byte
+	smTime      []float64
+}
+
+// grow returns s resized to n elements, reallocating only when capacity is
+// short. Contents are unspecified; callers fully initialize what they use.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Launch executes the kernel on the device and returns simulated timing.
 // Functional effects (global-memory writes) persist on the device. An error
 // is returned for faults, timeouts and malformed programs; callers treat any
@@ -72,23 +96,42 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	remaining := budget
 
 	nwarps := (cfg.Block + warpSize - 1) / warpSize
-	ctx := &blockCtx{
-		d: d, k: k, arch: d.Arch,
-		shared:   make([]byte, k.SharedBytes),
-		args:     cfg.Args,
-		gridDim:  int32(cfg.Grid),
-		blockDim: int32(cfg.Block),
-		prof:     cfg.Profile,
-		budget:   &remaining,
-	}
-	regs := make([]uint64, k.nslots*warpSize*nwarps)
-	warps := make([]*warp, nwarps)
+	ls := &d.launch
+	ls.regs = grow(ls.regs, k.nslots*warpSize*nwarps)
+	ls.shared = grow(ls.shared, k.SharedBytes)
+	ls.warps = grow(ls.warps, nwarps)
+	ls.warpPtrs = grow(ls.warpPtrs, nwarps)
 	for wi := 0; wi < nwarps; wi++ {
-		warps[wi] = &warp{id: wi, regs: regs[wi*k.nslots*warpSize : (wi+1)*k.nslots*warpSize]}
+		w := &ls.warps[wi]
+		w.id = wi
+		w.regs = ls.regs[wi*k.nslots*warpSize : (wi+1)*k.nslots*warpSize]
+		fillLanes(&w.idLanes, uint64(int64(wi)))
+		ls.warpPtrs[wi] = w
 	}
-	ctx.warps = warps
 
-	blockCycles := make([]float64, cfg.Grid)
+	ctx := &ls.ctx
+	ctx.d = d
+	ctx.k = k
+	ctx.arch = d.Arch
+	ctx.shared = ls.shared
+	ctx.args = cfg.Args
+	ctx.gridDim = int32(cfg.Grid)
+	ctx.blockDim = int32(cfg.Block)
+	ctx.warps = ls.warpPtrs
+	ctx.prof = cfg.Profile
+	ctx.budget = &remaining
+	ctx.costs = resolveCosts(d.Arch)
+	ctx.paramLanes = grow(ctx.paramLanes, len(cfg.Args)*warpSize)
+	for i, v := range cfg.Args {
+		lanes := ctx.paramLanes[i*warpSize : (i+1)*warpSize]
+		for l := range lanes {
+			lanes[l] = v
+		}
+	}
+	fillLanes(&ctx.bdimLanes, uint64(int64(ctx.blockDim)))
+	fillLanes(&ctx.gdimLanes, uint64(int64(ctx.gridDim)))
+
+	ls.blockCycles = grow(ls.blockCycles, cfg.Grid)
 	for b := 0; b < cfg.Grid; b++ {
 		cyc, err := ctx.runBlock(int32(b))
 		if err != nil {
@@ -97,10 +140,11 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 			}
 			return nil, err
 		}
-		blockCycles[b] = cyc
+		ls.blockCycles[b] = cyc
 	}
 
-	cycles := scheduleBlocks(blockCycles, d.Arch.SMs)
+	ls.smTime = grow(ls.smTime, max(d.Arch.SMs, 1))
+	cycles := scheduleBlocks(ls.blockCycles, ls.smTime)
 	res := &Result{
 		Cycles:    cycles,
 		TimeMS:    d.Arch.TimeMS(cycles),
@@ -118,10 +162,14 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 // count (the max across its warps, with barrier phases aligned).
 func (c *blockCtx) runBlock(blockID int32) (float64, error) {
 	c.blockID = blockID
+	fillLanes(&c.bidLanes, uint64(int64(blockID)))
 	clear(c.shared)
 	nThreads := int(c.blockDim)
 	for wi, w := range c.warps {
 		w.tidBase = int32(wi * warpSize)
+		for l := range w.tidLanes {
+			w.tidLanes[l] = uint64(int64(w.tidBase) + int64(l))
+		}
 		w.cycles = 0
 		w.waiting = false
 		w.done = false
@@ -196,15 +244,14 @@ func (c *blockCtx) runBlock(blockID int32) (float64, error) {
 // scheduleBlocks assigns block execution times to SM slots greedily
 // (earliest-finish-first) and returns the makespan. This is the grid-level
 // throughput model: SMs run blocks back to back, concurrency across SMs
-// only; within-SM overlap is folded into the per-instruction costs.
-func scheduleBlocks(blockCycles []float64, sms int) float64 {
+// only; within-SM overlap is folded into the per-instruction costs. smTime
+// is caller-provided scratch, one slot per SM.
+func scheduleBlocks(blockCycles, smTime []float64) float64 {
 	if len(blockCycles) == 0 {
 		return 0
 	}
-	if sms < 1 {
-		sms = 1
-	}
-	smTime := make([]float64, sms)
+	clear(smTime)
+	sms := len(smTime)
 	for _, bc := range blockCycles {
 		mi := 0
 		for i := 1; i < sms; i++ {

@@ -523,16 +523,18 @@ func TestMultiBlockScheduling(t *testing.T) {
 }
 
 func TestScheduleBlocks(t *testing.T) {
-	if got := scheduleBlocks(nil, 4); got != 0 {
+	sms := func(n int) []float64 { return make([]float64, n) }
+	if got := scheduleBlocks(nil, sms(4)); got != 0 {
 		t.Errorf("empty schedule = %v, want 0", got)
 	}
-	if got := scheduleBlocks([]float64{10, 10, 10, 10}, 2); got != 20 {
+	if got := scheduleBlocks([]float64{10, 10, 10, 10}, sms(2)); got != 20 {
 		t.Errorf("schedule = %v, want 20", got)
 	}
-	if got := scheduleBlocks([]float64{30, 10, 10, 10}, 2); got != 30 {
+	if got := scheduleBlocks([]float64{30, 10, 10, 10}, sms(2)); got != 30 {
 		t.Errorf("LPT-ish schedule = %v, want 30", got)
 	}
-	if got := scheduleBlocks([]float64{5}, 0); got != 5 {
-		t.Errorf("schedule with 0 SMs = %v, want 5", got)
+	// Launch clamps the SM count to at least one.
+	if got := scheduleBlocks([]float64{5}, sms(1)); got != 5 {
+		t.Errorf("schedule with 1 SM = %v, want 5", got)
 	}
 }

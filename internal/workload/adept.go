@@ -204,29 +204,26 @@ func (e *MismatchError) Error() string {
 }
 
 func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, pairs []align.Pair, want []align.Result, profile bool) (float64, map[string]*gpu.Profile, error) {
-	if err := m.Verify(); err != nil {
-		return 0, nil, err
-	}
-	fwdF := m.Func("sw_forward")
-	if fwdF == nil {
-		return 0, nil, fmt.Errorf("adept: module lacks sw_forward")
-	}
-	fwd, err := gpu.Compile(fwdF)
+	// Verification and compilation go through the content-addressed program
+	// cache: each distinct variant is verified and compiled once per process,
+	// not once per evaluation.
+	prog, err := gpu.Prepare(m)
 	if err != nil {
 		return 0, nil, err
 	}
+	fwd := prog.Kernels["sw_forward"]
+	if fwd == nil {
+		return 0, nil, fmt.Errorf("adept: module lacks sw_forward")
+	}
 	var rev *gpu.Kernel
 	if a.Version == kernels.ADEPTV1 {
-		revF := m.Func("sw_reverse")
-		if revF == nil {
+		if rev = prog.Kernels["sw_reverse"]; rev == nil {
 			return 0, nil, fmt.Errorf("adept: V1 module lacks sw_reverse")
-		}
-		if rev, err = gpu.Compile(revF); err != nil {
-			return 0, nil, err
 		}
 	}
 
-	d := gpu.NewDevice(arch)
+	d := gpu.AcquireDevice(arch)
+	defer d.Release()
 	dd, err := uploadPairs(d, pairs)
 	if err != nil {
 		return 0, nil, err

@@ -199,7 +199,7 @@ type covDevice struct {
 // reads see plausible small values, and the final small stats buffer leaves
 // the forward overrun of the last grid pointing at free arena (silent) or
 // past the arena end (fault) depending on capacity.
-func setupCov(d *gpu.Device, m *ir.Module, p simcov.Params, padded bool, budget int64, profs map[string]*gpu.Profile) (*covDevice, error) {
+func setupCov(d *gpu.Device, prog *gpu.Program, p simcov.Params, padded bool, budget int64, profs map[string]*gpu.Profile) (*covDevice, error) {
 	n := p.W * p.H
 	pn := n
 	if padded {
@@ -244,10 +244,7 @@ func setupCov(d *gpu.Device, m *ir.Module, p simcov.Params, padded bool, budget 
 		return nil, err
 	}
 
-	ks, err := gpu.CompileAll(m)
-	if err != nil {
-		return nil, err
-	}
+	ks := prog.Kernels
 	for _, name := range []string{"cov_spawn", "cov_move", "cov_epi", "cov_vdiffuse", "cov_cdiffuse", "cov_vupdate", "cov_cupdate", "cov_stats"} {
 		if ks[name] == nil {
 			return nil, fmt.Errorf("simcov: module lacks kernel %s", name)
@@ -371,16 +368,18 @@ func (cd *covDevice) step(p simcov.Params) (float64, simcov.Stats, error) {
 // stats against the bands when provided. arenaBytes overrides the device
 // capacity (0 = the architecture default).
 func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, steps int, bands *simcov.Bands, arenaBytes int, profs map[string]*gpu.Profile) (float64, []simcov.Stats, error) {
-	if err := m.Verify(); err != nil {
+	prog, err := gpu.Prepare(m)
+	if err != nil {
 		return 0, nil, err
 	}
 	var d *gpu.Device
 	if arenaBytes > 0 {
-		d = gpu.NewDeviceWithMem(arch, arenaBytes)
+		d = gpu.AcquireDeviceWithMem(arch, arenaBytes)
 	} else {
-		d = gpu.NewDevice(arch)
+		d = gpu.AcquireDevice(arch)
 	}
-	cd, err := setupCov(d, m, p, s.Padded, s.budget, profs)
+	defer d.Release()
+	cd, err := setupCov(d, prog, p, s.Padded, s.budget, profs)
 	if err != nil {
 		return 0, nil, err
 	}
