@@ -1,0 +1,187 @@
+// Command gevo-bench runs a small standardized benchmark suite and emits
+// machine-readable JSON (default BENCH_islands.json), so the repository's
+// performance trajectory can be tracked across commits without parsing
+// `go test -bench` text output.
+//
+// The suite covers the three throughput layers: raw variant evaluation
+// (bounds everything), a single-population search, and an island search at
+// the same evaluation budget.
+//
+// Usage:
+//
+//	gevo-bench -out BENCH_islands.json
+//	gevo-bench -out -          # write to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/island"
+	"gevo/internal/kernels"
+	"gevo/internal/workload"
+)
+
+// benchResult is one benchmark's summary.
+type benchResult struct {
+	Name    string             `json:"name"`
+	WallMs  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the file-level JSON document.
+type report struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	UnixMs     int64         `json:"unix_ms"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gevo-bench:", err)
+	os.Exit(1)
+}
+
+// benchEval measures raw base-program evaluation throughput on ADEPT-V1.
+func benchEval(evals int) (benchResult, error) {
+	w, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11, FitPairs: 2})
+	if err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	for i := 0; i < evals; i++ {
+		if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
+			return benchResult{}, err
+		}
+	}
+	wall := time.Since(start)
+	return benchResult{
+		Name:   "eval_adept_v1_p100",
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Metrics: map[string]float64{
+			"evals":        float64(evals),
+			"ms_per_eval":  float64(wall.Microseconds()) / 1000 / float64(evals),
+			"evals_per_ms": float64(evals) / (float64(wall.Microseconds()) / 1000),
+		},
+	}, nil
+}
+
+// benchSearch measures a small single-population search end to end.
+func benchSearch(pop, gens int) (benchResult, error) {
+	w, err := workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	eng := core.NewEngine(w, core.Config{
+		Pop: pop, Generations: gens, Seed: 1, Arch: gpu.P100,
+		CrossoverRate: 0.8, MutationRate: 0.5,
+	})
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		return benchResult{}, err
+	}
+	wall := time.Since(start)
+	return benchResult{
+		Name:   "search_single_pop",
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Metrics: map[string]float64{
+			"pop": float64(pop), "gens": float64(gens),
+			"speedup": res.Speedup, "evaluations": float64(res.Evaluations),
+		},
+	}, nil
+}
+
+// benchIslands measures the island search at the same pop x gens budget as
+// benchSearch, split across a 4-deme ring.
+func benchIslands(pop, gens int) (benchResult, error) {
+	w, err := workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	const demes = 4
+	// Guard the integer split: Pop <= 0 would be re-defaulted to 256 by the
+	// engine, silently breaking the equal-budget comparison.
+	perDeme := pop / demes
+	if perDeme < 1 {
+		perDeme = 1
+	}
+	s, err := island.New(w, island.Config{
+		Demes: demes, MigrationInterval: 3, MigrationSize: 1,
+		Generations: gens, Seed: 1,
+		Base: core.Config{
+			Pop: perDeme, Arch: gpu.P100,
+			CrossoverRate: 0.8, MutationRate: 0.5,
+		},
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	start := time.Now()
+	res, err := s.Run()
+	if err != nil {
+		return benchResult{}, err
+	}
+	wall := time.Since(start)
+	return benchResult{
+		Name:   "search_islands_ring4",
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Metrics: map[string]float64{
+			"demes": demes, "pop_per_deme": float64(perDeme), "gens": float64(gens),
+			"speedup": res.Speedup, "evaluations": float64(res.Evaluations),
+			"migrations": float64(res.Migrations),
+		},
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_islands.json", "output file ('-' for stdout)")
+	evals := flag.Int("evals", 40, "evaluation count for the throughput benchmark")
+	pop := flag.Int("pop", 16, "total population for the search benchmarks")
+	gens := flag.Int("gens", 10, "generations for the search benchmarks")
+	flag.Parse()
+
+	rep := report{
+		Suite:      "gevo-bench",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		UnixMs:     time.Now().UnixMilli(),
+	}
+	for _, run := range []func() (benchResult, error){
+		func() (benchResult, error) { return benchEval(*evals) },
+		func() (benchResult, error) { return benchSearch(*pop, *gens) },
+		func() (benchResult, error) { return benchIslands(*pop, *gens) },
+	} {
+		r, err := run()
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.1f ms\n", r.Name, r.WallMs)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gevo-bench: wrote %s\n", *out)
+}

@@ -4,29 +4,53 @@
 //
 // Usage:
 //
-//	gevo -workload adept-v1 -arch P100 -pop 32 -gens 40 -seed 1
+//	gevo -workload adept-v1 -arch P100 -pop 32 -gens 40 -seed 1 -workers 8
+//
+// With -json the human report is replaced by one machine-readable JSON
+// object on stdout (schema shared with gevo-bench).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gevo/internal/core"
 	"gevo/internal/gpu"
-	"gevo/internal/kernels"
 	"gevo/internal/workload"
 )
 
+// jsonResult is the machine-readable search summary emitted by -json.
+type jsonResult struct {
+	Workload    string   `json:"workload"`
+	Arch        string   `json:"arch"`
+	Pop         int      `json:"pop"`
+	Generations int      `json:"generations"`
+	Seed        uint64   `json:"seed"`
+	Workers     int      `json:"workers"`
+	BaseMs      float64  `json:"base_ms"`
+	BestMs      float64  `json:"best_ms"`
+	Speedup     float64  `json:"speedup"`
+	Evaluations int      `json:"evaluations"`
+	WallMs      float64  `json:"wall_ms"`
+	GenomeEdits int      `json:"genome_edits"`
+	Genome      []string `json:"genome,omitempty"`
+	Validated   bool     `json:"validated"`
+}
+
 func main() {
-	wl := flag.String("workload", "adept-v1", "workload: adept-v0, adept-v1, simcov")
+	wl := flag.String("workload", "adept-v1", "workload: "+workload.CLINames)
 	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
 	pop := flag.Int("pop", 32, "population size (paper: 256)")
 	gens := flag.Int("gens", 40, "generations (paper: 300 ADEPT / 130 SIMCoV)")
 	seed := flag.Uint64("seed", 1, "search seed")
 	mut := flag.Float64("mut", 0.5, "mutation rate (paper: 0.3 at pop 256; 0 disables)")
 	cross := flag.Float64("cross", 0.8, "crossover rate (paper: 0.8; 0 disables)")
+	workers := flag.Int("workers", 0, "parallel fitness evaluations (0 = GOMAXPROCS)")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	flag.Parse()
 
 	arch := gpu.ArchByName(*archName)
@@ -34,51 +58,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gevo: unknown arch %q\n", *archName)
 		os.Exit(2)
 	}
-	var w workload.Workload
-	var err error
-	switch *wl {
-	case "adept-v0":
-		w, err = workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{Seed: 11})
-	case "adept-v1":
-		w, err = workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11})
-	case "simcov":
-		w, err = workload.NewSIMCoV(workload.SIMCoVOptions{Seed: 3})
-	default:
-		fmt.Fprintf(os.Stderr, "gevo: unknown workload %q\n", *wl)
-		os.Exit(2)
-	}
+	w, err := workload.ByName(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gevo:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
-	fmt.Printf("GEVO search: %s on %s, pop %d x %d generations, seed %d\n",
-		w.Name(), arch.Name, *pop, *gens, *seed)
+	if !*jsonOut {
+		fmt.Printf("GEVO search: %s on %s, pop %d x %d generations, seed %d\n",
+			w.Name(), arch.Name, *pop, *gens, *seed)
+	}
 	eng := core.NewEngine(w, core.Config{
 		Pop: *pop, Generations: *gens, Seed: *seed, Arch: arch,
-		MutationRate: *mut, CrossoverRate: *cross,
+		MutationRate: *mut, CrossoverRate: *cross, Workers: *workers,
 	})
+	start := time.Now()
 	res, err := eng.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gevo:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("base fitness   %.4f ms\n", res.BaseFitness)
-	fmt.Printf("best fitness   %.4f ms (%.3fx) after %d evaluations\n",
-		res.Best.Fitness, res.Speedup, res.Evaluations)
-	fmt.Printf("best genome (%d edits):\n", len(res.Best.Genome))
-	for _, e := range res.Best.Genome {
-		fmt.Printf("  %v\n", e)
-	}
-	fmt.Println("discovery history:")
-	for _, d := range res.History.Discoveries() {
-		fmt.Printf("  gen %3d: %.3fx (+%d edits)\n", d.Gen, d.Speedup, len(d.NewEdits))
-	}
+	wall := time.Since(start)
+
+	validated := false
+	var vErr error
 	if *validate {
-		if err := eng.Validate(res.Best.Genome); err != nil {
-			fmt.Printf("held-out validation: FAILED: %v\n", err)
+		vErr = eng.Validate(res.Best.Genome)
+		validated = vErr == nil
+	}
+
+	if *jsonOut {
+		out := jsonResult{
+			Workload: w.Name(), Arch: arch.Name, Pop: *pop, Generations: *gens,
+			Seed: *seed, Workers: *workers,
+			BaseMs: res.BaseFitness, BestMs: res.Best.Fitness, Speedup: res.Speedup,
+			Evaluations: res.Evaluations, WallMs: float64(wall.Microseconds()) / 1000,
+			GenomeEdits: len(res.Best.Genome), Validated: validated,
+		}
+		for _, e := range res.Best.Genome {
+			out.Genome = append(out.Genome, e.String())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gevo:", err)
 			os.Exit(1)
 		}
-		fmt.Println("held-out validation: PASSED")
+	} else {
+		fmt.Printf("base fitness   %.4f ms\n", res.BaseFitness)
+		fmt.Printf("best fitness   %.4f ms (%.3fx) after %d evaluations (%.1fs wall)\n",
+			res.Best.Fitness, res.Speedup, res.Evaluations, wall.Seconds())
+		fmt.Printf("best genome (%d edits):\n", len(res.Best.Genome))
+		for _, e := range res.Best.Genome {
+			fmt.Printf("  %v\n", e)
+		}
+		fmt.Println("discovery history:")
+		for _, d := range res.History.Discoveries() {
+			fmt.Printf("  gen %3d: %.3fx (+%d edits)\n", d.Gen, d.Speedup, len(d.NewEdits))
+		}
+		if *validate {
+			if vErr != nil {
+				fmt.Printf("held-out validation: FAILED: %v\n", vErr)
+			} else {
+				fmt.Println("held-out validation: PASSED")
+			}
+		}
+	}
+	if *validate && vErr != nil {
+		os.Exit(1)
 	}
 }

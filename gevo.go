@@ -26,6 +26,7 @@ import (
 	"gevo/internal/analysis"
 	"gevo/internal/core"
 	"gevo/internal/gpu"
+	"gevo/internal/island"
 	"gevo/internal/kernels"
 	"gevo/internal/workload"
 )
@@ -104,6 +105,42 @@ func NewADEPT(v kernels.ADEPTVersion, opt ADEPTOptions) (*ADEPTWorkload, error) 
 func NewSIMCoV(opt SIMCoVOptions) (*SIMCoVWorkload, error) {
 	return workload.NewSIMCoV(opt)
 }
+
+// Island-model search re-exports (internal/island): N concurrent demes
+// with ring migration, deterministic for a fixed topology+seed regardless
+// of worker count, checkpointable to versioned JSON.
+type (
+	// IslandConfig describes the island topology and per-deme parameters.
+	IslandConfig = island.Config
+	// IslandOverride customizes one deme (arch, operator rates).
+	IslandOverride = island.Override
+	// IslandSearch is a running island-model search.
+	IslandSearch = island.Search
+	// IslandResult summarizes a finished island search.
+	IslandResult = island.Result
+	// DemeResult is one deme's share of an IslandResult.
+	DemeResult = island.DemeResult
+	// Checkpoint is the on-disk state of an island search.
+	Checkpoint = island.Checkpoint
+
+	// EngineState is the serializable search state of a single engine.
+	EngineState = core.EngineState
+	// HistoryState is the serializable form of a History.
+	HistoryState = core.HistoryState
+)
+
+// NewIslands builds an island-model search over a workload.
+func NewIslands(w Workload, cfg IslandConfig) (*IslandSearch, error) { return island.New(w, cfg) }
+
+// RestoreIslands rebuilds an island search from a checkpoint; the workload
+// must be constructed identically to the original run.
+func RestoreIslands(w Workload, cp *Checkpoint) (*IslandSearch, error) { return island.Restore(w, cp) }
+
+// LoadCheckpoint reads an island checkpoint written by Checkpoint.Save.
+var LoadCheckpoint = island.Load
+
+// RestoreEngine rebuilds a single engine from a checkpointed EngineState.
+var RestoreEngine = core.RestoreEngine
 
 // Analysis re-exports (paper Section V).
 type (

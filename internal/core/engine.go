@@ -62,6 +62,12 @@ func (c *Config) fill() {
 	if c.Elite <= 0 {
 		c.Elite = 4
 	}
+	// Elitism must leave room for offspring: at Elite >= Pop (possible with
+	// the default Elite of 4 and a tiny population) breeding would only copy
+	// elites and the search would freeze after one generation.
+	if c.Elite >= c.Pop {
+		c.Elite = c.Pop / 2
+	}
 	if c.CrossoverRate < 0 {
 		c.CrossoverRate = 0
 	}
@@ -133,13 +139,25 @@ func shardOf(key string) uint32 {
 	return h & (fitnessShards - 1)
 }
 
-// Engine runs the GEVO search over one workload.
+// Engine runs the GEVO search over one workload. Beyond the one-shot Run,
+// it exposes a steppable API — Init, Step, Population/Best/Inject — so an
+// orchestrator (internal/island) can interleave search with migration, and
+// a serializable state (Snapshot/RestoreEngine in state.go) so a search can
+// be checkpointed and resumed bit-identically.
 type Engine struct {
 	w      workload.Workload
 	cfg    Config
 	r      *rng.R
 	shards [fitnessShards]fitnessShard
 	evals  atomic.Int64
+
+	// Steppable search state. pop is unevaluated right after Init and
+	// evaluated+sorted after every Step.
+	inited bool
+	gen    int
+	base   float64
+	pop    []Individual
+	hist   *History
 }
 
 // NewEngine creates a search engine for the workload.
@@ -212,59 +230,170 @@ func (e *Engine) tournament(pop []Individual) *Individual {
 	return best
 }
 
-// Run executes the search and returns the result. The search is
-// deterministic in Config.Seed.
-func (e *Engine) Run() (*Result, error) {
+// Init prepares the steppable search: it evaluates the base program and
+// seeds the initial population (single random edits against the base). It
+// is a no-op when the engine was already initialized or restored.
+func (e *Engine) Init() error {
+	if e.inited {
+		return nil
+	}
 	base := e.fitness(nil)
 	if math.IsInf(base, 1) {
-		return nil, fmt.Errorf("core: base program fails its own test suite")
+		return fmt.Errorf("core: base program fails its own test suite")
 	}
-	hist := NewHistory(base)
-
-	// Initial population: single random edits against the base program.
-	pop := make([]Individual, e.cfg.Pop)
-	for i := range pop {
+	e.base = base
+	e.hist = NewHistory(base)
+	e.pop = make([]Individual, e.cfg.Pop)
+	for i := range e.pop {
 		if ed, ok := RandomEdit(e.w.Base(), e.r); ok {
-			pop[i].Genome = []Edit{ed}
+			e.pop[i].Genome = []Edit{ed}
 		}
 	}
+	e.gen = 0
+	e.inited = true
+	return nil
+}
 
-	for gen := 1; gen <= e.cfg.Generations; gen++ {
-		e.evaluateAll(pop)
-		sort.SliceStable(pop, func(i, j int) bool { return pop[i].Fitness < pop[j].Fitness })
-		hist.Record(gen, pop)
-
-		if gen == e.cfg.Generations {
-			break
-		}
-		next := make([]Individual, 0, e.cfg.Pop)
-		// Elitism: the paper retains the four best individuals.
-		for i := 0; i < e.cfg.Elite && i < len(pop); i++ {
-			next = append(next, Individual{Genome: append([]Edit(nil), pop[i].Genome...)})
-		}
-		for len(next) < e.cfg.Pop {
-			p1 := e.tournament(pop)
-			genome := append([]Edit(nil), p1.Genome...)
-			if e.r.Float64() < e.cfg.CrossoverRate {
-				p2 := e.tournament(pop)
-				genome = Crossover(p1.Genome, p2.Genome, e.r)
-			}
-			if e.r.Float64() < e.cfg.MutationRate {
-				genome = Mutate(e.w.Base(), genome, e.r)
-			}
-			next = append(next, Individual{Genome: genome})
-		}
-		pop = next
+// breed produces the next generation from the current evaluated, sorted
+// population: elitism, then tournament selection with crossover and
+// mutation. All randomness draws from the engine's single RNG stream, so
+// the sequence is deterministic in the seed.
+func (e *Engine) breed() []Individual {
+	next := make([]Individual, 0, e.cfg.Pop)
+	// Elitism: the paper retains the four best individuals.
+	for i := 0; i < e.cfg.Elite && i < len(e.pop); i++ {
+		next = append(next, Individual{Genome: append([]Edit(nil), e.pop[i].Genome...)})
 	}
+	for len(next) < e.cfg.Pop {
+		p1 := e.tournament(e.pop)
+		genome := append([]Edit(nil), p1.Genome...)
+		if e.r.Float64() < e.cfg.CrossoverRate {
+			p2 := e.tournament(e.pop)
+			genome = Crossover(p1.Genome, p2.Genome, e.r)
+		}
+		if e.r.Float64() < e.cfg.MutationRate {
+			genome = Mutate(e.w.Base(), genome, e.r)
+		}
+		next = append(next, Individual{Genome: genome})
+	}
+	return next
+}
 
-	best := hist.BestEver()
+// Step advances the search by gens generations. Each generation breeds from
+// the previous population (except the first, which evaluates the initial
+// population as-is), evaluates in parallel, sorts by fitness and records
+// history. After Step returns the population is evaluated and sorted, so
+// Best and Inject operate on a consistent snapshot. Init must have been
+// called.
+func (e *Engine) Step(gens int) {
+	if !e.inited {
+		panic("core: Step before Init")
+	}
+	for i := 0; i < gens; i++ {
+		if e.gen > 0 {
+			e.pop = e.breed()
+		}
+		e.gen++
+		e.evaluateAll(e.pop)
+		sort.SliceStable(e.pop, func(i, j int) bool { return e.pop[i].Fitness < e.pop[j].Fitness })
+		e.hist.Record(e.gen, e.pop)
+	}
+}
+
+// Generation returns the number of generations completed.
+func (e *Engine) Generation() int { return e.gen }
+
+// BaseFitness returns the unmodified program's fitness (valid after Init).
+func (e *Engine) BaseFitness() float64 { return e.base }
+
+// History returns the live search history (valid after Init).
+func (e *Engine) History() *History { return e.hist }
+
+// Evaluations returns the number of distinct-genome fitness evaluations so
+// far.
+func (e *Engine) Evaluations() int { return int(e.evals.Load()) }
+
+// Arch returns the architecture the engine evaluates fitness on.
+func (e *Engine) Arch() *gpu.Arch { return e.cfg.Arch }
+
+// Population returns a deep copy of the current population. After a Step it
+// is evaluated and sorted best-first.
+func (e *Engine) Population() []Individual {
+	out := make([]Individual, len(e.pop))
+	for i := range e.pop {
+		out[i] = Individual{
+			Genome:  append([]Edit(nil), e.pop[i].Genome...),
+			Fitness: e.pop[i].Fitness,
+		}
+	}
+	return out
+}
+
+// Best returns deep copies of the k best individuals of the current
+// population (fewer when the population is smaller). It must follow a Step,
+// which leaves the population evaluated and sorted.
+func (e *Engine) Best(k int) []Individual {
+	if k > len(e.pop) {
+		k = len(e.pop)
+	}
+	out := make([]Individual, k)
+	for i := 0; i < k; i++ {
+		out[i] = Individual{
+			Genome:  append([]Edit(nil), e.pop[i].Genome...),
+			Fitness: e.pop[i].Fitness,
+		}
+	}
+	return out
+}
+
+// Inject replaces the worst len(migrants) individuals with copies of the
+// migrants — the island-model immigration primitive. Migrant fitness is
+// re-evaluated on this engine's workload and architecture (their recorded
+// fitness may come from a different deme), then the population is re-sorted
+// so elitism and tournament selection see a consistent ranking. Before the
+// first Step the population is unevaluated, so migrants simply overwrite
+// the tail and are evaluated by the next Step like everyone else.
+func (e *Engine) Inject(migrants []Individual) {
+	if !e.inited {
+		panic("core: Inject before Init")
+	}
+	n := len(migrants)
+	if n > len(e.pop) {
+		n = len(e.pop)
+	}
+	tail := e.pop[len(e.pop)-n:]
+	for i := 0; i < n; i++ {
+		tail[i] = Individual{Genome: append([]Edit(nil), migrants[i].Genome...)}
+	}
+	if e.gen == 0 {
+		return
+	}
+	e.evaluateAll(tail)
+	sort.SliceStable(e.pop, func(i, j int) bool { return e.pop[i].Fitness < e.pop[j].Fitness })
+}
+
+// Result summarizes the search so far (valid after Init).
+func (e *Engine) Result() *Result {
+	best := e.hist.BestEver()
 	return &Result{
 		Best:        best,
-		BaseFitness: base,
-		Speedup:     speedupOf(base, best),
-		History:     hist,
+		BaseFitness: e.base,
+		Speedup:     speedupOf(e.base, best),
+		History:     e.hist,
 		Evaluations: int(e.evals.Load()),
-	}, nil
+	}
+}
+
+// Run executes the whole search and returns the result. The search is
+// deterministic in Config.Seed. Run is Init + Step(Generations) + Result —
+// an engine driven manually through the steppable API with the same budget
+// produces bit-identical results.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.Init(); err != nil {
+		return nil, err
+	}
+	e.Step(e.cfg.Generations)
+	return e.Result(), nil
 }
 
 // speedupOf guards the headline ratio: an all-invalid population leaves

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestHistoryStateJSONRoundTrip checks that a history — including an
+// all-invalid generation whose BestFitness is +Inf, the case plain JSON
+// floats cannot carry — survives State -> JSON -> HistoryFromState with its
+// records, running best and derived views intact.
+func TestHistoryStateJSONRoundTrip(t *testing.T) {
+	h := NewHistory(10)
+	h.Record(1, []Individual{
+		{Genome: []Edit{{Kind: EditDelete, Func: "k", Target: 3}}, Fitness: 8},
+		{Fitness: math.Inf(1)},
+	})
+	// An all-invalid generation: BestFitness stays +Inf.
+	h.Record(2, []Individual{{Fitness: math.Inf(1)}, {Fitness: math.Inf(1)}})
+	h.Record(3, []Individual{
+		{Genome: []Edit{{Kind: EditDelete, Func: "k", Target: 3}, {Kind: EditSwap, Func: "k", Target: 1, Other: 2}}, Fitness: 5},
+	})
+
+	blob, err := json.Marshal(h.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st HistoryState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	got := HistoryFromState(st)
+
+	if got.Base != h.Base {
+		t.Errorf("base %v != %v", got.Base, h.Base)
+	}
+	if !reflect.DeepEqual(got.Records, h.Records) {
+		t.Errorf("records differ:\n  %+v\n  %+v", got.Records, h.Records)
+	}
+	if !reflect.DeepEqual(got.BestEver(), h.BestEver()) {
+		t.Errorf("best-ever differs: %+v vs %+v", got.BestEver(), h.BestEver())
+	}
+	if !reflect.DeepEqual(got.Speedups(), h.Speedups()) {
+		t.Errorf("speedups differ: %v vs %v", got.Speedups(), h.Speedups())
+	}
+	if !reflect.DeepEqual(got.Discoveries(), h.Discoveries()) {
+		t.Errorf("discoveries differ")
+	}
+}
+
+// TestDiscoveriesEdgeCases pins Discoveries on degenerate histories: no
+// records at all, an empty population, and a single generation.
+func TestDiscoveriesEdgeCases(t *testing.T) {
+	// No records: no discoveries.
+	if d := NewHistory(4).Discoveries(); len(d) != 0 {
+		t.Errorf("empty history discoveries = %d, want 0", len(d))
+	}
+
+	// An empty population records a generation (BestFitness +Inf, no new
+	// best) and must not produce a discovery or a NaN.
+	h := NewHistory(4)
+	h.Record(1, nil)
+	if d := h.Discoveries(); len(d) != 0 {
+		t.Errorf("empty-population discoveries = %d, want 0", len(d))
+	}
+	if got := h.BestEver(); got.Fitness != 4 || len(got.Genome) != 0 {
+		t.Errorf("best-ever after empty population = %+v, want base", got)
+	}
+	if s := h.Speedups(); len(s) != 1 || s[0] != 1 {
+		t.Errorf("speedups after empty population = %v, want [1]", s)
+	}
+
+	// A single improving generation yields exactly one discovery carrying
+	// that generation's new edits and speedup.
+	h = NewHistory(4)
+	ed := Edit{Kind: EditDelete, Func: "k", Target: 7}
+	h.Record(1, []Individual{{Genome: []Edit{ed}, Fitness: 2}})
+	d := h.Discoveries()
+	if len(d) != 1 {
+		t.Fatalf("single-generation discoveries = %d, want 1", len(d))
+	}
+	if d[0].Gen != 1 || d[0].Speedup != 2 {
+		t.Errorf("discovery = gen %d speedup %v, want gen 1 speedup 2", d[0].Gen, d[0].Speedup)
+	}
+	if len(d[0].NewEdits) != 1 || d[0].NewEdits[0].Key() != ed.Key() {
+		t.Errorf("discovery new edits = %v, want [%v]", d[0].NewEdits, ed)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"gevo/internal/gpu"
+)
+
+// TestInfFloatRoundTrip pins the JSON encoding of the non-finite fitness
+// values a checkpoint must carry.
+func TestInfFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.Inf(-1)} {
+		b, err := json.Marshal(InfFloat(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got InfFloat
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if float64(got) != v {
+			t.Errorf("round trip %v -> %s -> %v", v, b, float64(got))
+		}
+	}
+	b, err := json.Marshal(InfFloat(math.NaN()))
+	if err != nil {
+		t.Fatalf("marshal NaN: %v", err)
+	}
+	var got InfFloat
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if !math.IsNaN(float64(got)) {
+		t.Errorf("NaN round trip -> %v", float64(got))
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &got); err == nil {
+		t.Error("bogus InfFloat string accepted")
+	}
+}
+
+// TestSnapshotResumeBitIdentical is the engine-level checkpoint contract: a
+// search snapshotted mid-way and restored into a fresh engine (fresh caches,
+// as in a new process) finishes with the bit-identical best genome and
+// history as the uninterrupted run.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	cfg := Config{
+		Pop: 8, Elite: 1, Generations: 6, Seed: 42, Arch: gpu.P100,
+		CrossoverRate: 0.8, MutationRate: 0.5,
+	}
+
+	// Uninterrupted run.
+	full := NewEngine(smallADEPT(t), cfg)
+	res, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: 3 generations, snapshot, JSON round trip, restore
+	// into a fresh engine over a fresh workload instance, finish.
+	half := NewEngine(smallADEPT(t), cfg)
+	if err := half.Init(); err != nil {
+		t.Fatal(err)
+	}
+	half.Step(3)
+	st, err := half.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded EngineState
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RestoreEngine(smallADEPT(t), cfg, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != 3 {
+		t.Fatalf("restored generation = %d, want 3", resumed.Generation())
+	}
+	resumed.Step(cfg.Generations - resumed.Generation())
+	got := resumed.Result()
+
+	if GenomeKey(got.Best.Genome) != GenomeKey(res.Best.Genome) {
+		t.Errorf("resumed best genome differs:\n  %v\n  %v", got.Best.Genome, res.Best.Genome)
+	}
+	if got.Best.Fitness != res.Best.Fitness {
+		t.Errorf("resumed best fitness %v != %v", got.Best.Fitness, res.Best.Fitness)
+	}
+	if !reflect.DeepEqual(got.History.Records, res.History.Records) {
+		t.Errorf("resumed history differs:\n  %+v\n  %+v", got.History.Records, res.History.Records)
+	}
+}
+
+// TestRunEqualsSteppedSearch checks Run against the steppable API driven in
+// uneven chunks: identical results, since Run is Init+Step+Result.
+func TestRunEqualsSteppedSearch(t *testing.T) {
+	cfg := Config{
+		Pop: 8, Elite: 1, Generations: 5, Seed: 7, Arch: gpu.P100,
+		CrossoverRate: 0.8, MutationRate: 0.5,
+	}
+	ran, err := NewEngine(smallADEPT(t), cfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped := NewEngine(smallADEPT(t), cfg)
+	if err := stepped.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 2} {
+		stepped.Step(n)
+	}
+	got := stepped.Result()
+	if GenomeKey(got.Best.Genome) != GenomeKey(ran.Best.Genome) ||
+		got.Best.Fitness != ran.Best.Fitness {
+		t.Errorf("stepped best differs from Run: %v vs %v", got.Best, ran.Best)
+	}
+	if !reflect.DeepEqual(got.History.Records, ran.History.Records) {
+		t.Error("stepped history differs from Run")
+	}
+}
+
+// TestRestoreEngineRejectsBadState pins the defensive paths.
+func TestRestoreEngineRejectsBadState(t *testing.T) {
+	if _, err := RestoreEngine(smallADEPT(t), Config{}, nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	if _, err := RestoreEngine(smallADEPT(t), Config{}, &EngineState{Version: 99}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := RestoreEngine(smallADEPT(t), Config{Seed: 1},
+		&EngineState{Version: EngineStateVersion, Seed: 2}); err == nil {
+		t.Error("seed mismatch accepted")
+	}
+	if _, err := NewEngine(smallADEPT(t), Config{}).Snapshot(); err == nil {
+		t.Error("Snapshot of uninitialized engine accepted")
+	}
+}
+
+// TestInjectReplacesWorst checks the immigration primitive: migrants land in
+// the worst slots, are re-evaluated locally, and the ranking stays sorted.
+func TestInjectReplacesWorst(t *testing.T) {
+	a := smallADEPT(t)
+	e := NewEngine(a, Config{
+		Pop: 6, Elite: 1, Generations: 4, Seed: 3, Arch: gpu.P100,
+		CrossoverRate: 0.8, MutationRate: 0.5,
+	})
+	if err := e.Init(); err != nil {
+		t.Fatal(err)
+	}
+	e.Step(2)
+	best := e.Best(2)
+	if len(best) != 2 {
+		t.Fatalf("Best(2) returned %d individuals", len(best))
+	}
+	pop := e.Population()
+	for i := 1; i < len(pop); i++ {
+		if pop[i].Fitness < pop[i-1].Fitness {
+			t.Fatalf("population not sorted at %d", i)
+		}
+	}
+	// Inject the current best genome as a migrant: it must be re-ranked to
+	// the top, not left in the tail slot.
+	e.Inject([]Individual{{Genome: best[0].Genome, Fitness: math.Inf(1)}})
+	pop = e.Population()
+	if GenomeKey(pop[0].Genome) != GenomeKey(best[0].Genome) {
+		t.Errorf("injected elite did not sort to the top")
+	}
+	if pop[0].Fitness != best[0].Fitness {
+		t.Errorf("migrant fitness %v not re-evaluated locally (want %v)", pop[0].Fitness, best[0].Fitness)
+	}
+}

@@ -1,0 +1,248 @@
+package island
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/kernels"
+	"gevo/internal/workload"
+)
+
+func smallADEPT(t *testing.T) *workload.ADEPT {
+	t.Helper()
+	a, err := workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func ringConfig(workers int) Config {
+	return Config{
+		Demes: 4, MigrationInterval: 2, MigrationSize: 1, Generations: 6,
+		Seed: 42, Workers: workers,
+		Base: core.Config{
+			Pop: 6, Elite: 1, TournamentK: 3, Arch: gpu.P100,
+			CrossoverRate: 0.8, MutationRate: 0.5,
+		},
+	}
+}
+
+// sameResults asserts bit-identical search outcomes: best genome and
+// fitness, and every deme's full per-generation history.
+func sameResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if core.GenomeKey(a.Best.Genome) != core.GenomeKey(b.Best.Genome) {
+		t.Errorf("%s: best genome differs:\n  %v\n  %v", label, a.Best.Genome, b.Best.Genome)
+	}
+	if a.Best.Fitness != b.Best.Fitness || a.BestDeme != b.BestDeme || a.Speedup != b.Speedup {
+		t.Errorf("%s: best differs: deme %d %.6f (%.3fx) vs deme %d %.6f (%.3fx)", label,
+			a.BestDeme, a.Best.Fitness, a.Speedup, b.BestDeme, b.Best.Fitness, b.Speedup)
+	}
+	if len(a.Demes) != len(b.Demes) {
+		t.Fatalf("%s: deme count differs: %d vs %d", label, len(a.Demes), len(b.Demes))
+	}
+	for i := range a.Demes {
+		ra, rb := a.Demes[i].Result, b.Demes[i].Result
+		if !reflect.DeepEqual(ra.History.Records, rb.History.Records) {
+			t.Errorf("%s: deme %d history differs", label, i)
+		}
+		if core.GenomeKey(ra.Best.Genome) != core.GenomeKey(rb.Best.Genome) {
+			t.Errorf("%s: deme %d best genome differs", label, i)
+		}
+	}
+}
+
+// TestIslandsDeterministic is the subsystem's acceptance test: a 4-deme
+// ring with a fixed seed produces bit-identical best genome and history
+// whether evaluations run on 1 worker or 8, and a mid-search checkpoint
+// restored into a fresh search (fresh workload, fresh caches — a new
+// process in all but the exec) finishes with the identical result.
+func TestIslandsDeterministic(t *testing.T) {
+	run := func(workers int) *Result {
+		s, err := New(smallADEPT(t), ringConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	r8 := run(8)
+	sameResults(t, "workers 1 vs 8", r1, r8)
+
+	// Mid-search checkpoint/resume: two rounds, snapshot through the JSON
+	// wire format, restore over a fresh workload instance, finish.
+	s, err := New(smallADEPT(t), ringConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepRound()
+	s.StepRound()
+	cp, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(smallADEPT(t), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != s.Generation() || resumed.Migrations() != s.Migrations() {
+		t.Fatalf("restored position gen=%d mig=%d, want gen=%d mig=%d",
+			resumed.Generation(), resumed.Migrations(), s.Generation(), s.Migrations())
+	}
+	got, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "resumed vs uninterrupted", r1, got)
+}
+
+// TestHeterogeneousOverrides checks that per-deme arch and rate overrides
+// take effect and survive the checkpoint round trip.
+func TestHeterogeneousOverrides(t *testing.T) {
+	hot := 0.9
+	cfg := ringConfig(4)
+	cfg.Demes = 3
+	cfg.Generations = 2
+	cfg.Overrides = []Override{
+		{},
+		{Arch: gpu.V100, MutationRate: &hot},
+		{Arch: gpu.GTX1080Ti},
+	}
+	s, err := New(smallADEPT(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArchs := []string{"P100", "V100", "1080Ti"}
+	for i, d := range res.Demes {
+		if d.Arch != wantArchs[i] {
+			t.Errorf("deme %d arch = %q, want %q", i, d.Arch, wantArchs[i])
+		}
+	}
+	// Base fitness must differ across architectures — the heterogeneity is
+	// real, not cosmetic.
+	if res.Demes[0].Result.BaseFitness == res.Demes[1].Result.BaseFitness {
+		t.Error("P100 and V100 demes report identical base fitness")
+	}
+
+	cp, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt Checkpoint
+	if err := json.Unmarshal(blob, &rt); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(smallADEPT(t), &rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range wantArchs {
+		if got := restored.demes[i].Arch().Name; got != want {
+			t.Errorf("restored deme %d arch = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestMigrationSpreadsElites checks the ring actually carries genomes: after
+// a migration, each deme's population contains its predecessor's pre-round
+// best genome (re-evaluated locally).
+func TestMigrationSpreadsElites(t *testing.T) {
+	cfg := ringConfig(4)
+	cfg.Generations = 4 // two rounds; first round migrates
+	s, err := New(smallADEPT(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.each(func(_ int, d *core.Engine) { d.Step(cfg.MigrationInterval) })
+	s.gen += cfg.MigrationInterval
+	bests := make([]string, len(s.demes))
+	for i, d := range s.demes {
+		bests[i] = core.GenomeKey(d.Best(1)[0].Genome)
+	}
+	s.migrate()
+	if s.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1", s.Migrations())
+	}
+	n := len(s.demes)
+	for i, d := range s.demes {
+		want := bests[(i-1+n)%n]
+		found := false
+		for _, ind := range d.Population() {
+			if core.GenomeKey(ind.Genome) == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("deme %d lacks its predecessor's best genome after migration", i)
+		}
+	}
+}
+
+// TestRestoreRejects pins checkpoint validation: nil, wrong version, wrong
+// workload, deme count mismatch, unknown arch.
+func TestRestoreRejects(t *testing.T) {
+	w := smallADEPT(t)
+	if _, err := Restore(w, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+	if _, err := Restore(w, &Checkpoint{Version: 99, Workload: w.Name()}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Restore(w, &Checkpoint{Version: CheckpointVersion, Workload: "other"}); err == nil {
+		t.Error("wrong workload accepted")
+	}
+	cfg := ringConfig(1)
+	cfg.Generations = 1
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *cp
+	bad.Demes = bad.Demes[:2]
+	if _, err := Restore(w, &bad); err == nil {
+		t.Error("deme count mismatch accepted")
+	}
+	bad = *cp
+	bad.Config.Arch = "TPUv9"
+	if _, err := Restore(w, &bad); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if len(cfg.Overrides) != 0 {
+		t.Fatal("test setup drift")
+	}
+	if _, err := New(w, Config{Demes: 3, Overrides: make([]Override, 2)}); err == nil {
+		t.Error("override length mismatch accepted")
+	}
+}

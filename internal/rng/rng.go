@@ -32,6 +32,20 @@ func (r *R) Split() *R {
 	return New(r.Uint64() ^ 0xD1B54A32D192ED03)
 }
 
+// State returns the generator's internal state for checkpointing. A
+// generator rebuilt with FromState continues the stream exactly where this
+// one stands.
+func (r *R) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a generator from a saved State. The zero state is
+// rejected (it is a fixed point of the core) by falling back to New(0).
+func FromState(s [4]uint64) *R {
+	if s == ([4]uint64{}) {
+		return New(0)
+	}
+	return &R{s: s}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -98,6 +98,25 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestStateRoundTrip: FromState(State()) continues the stream exactly, and
+// the zero state is rejected rather than producing an all-zero stream.
+func TestStateRoundTrip(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 57; i++ {
+		r.Uint64()
+	}
+	clone := FromState(r.State())
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), clone.Uint64(); a != b {
+			t.Fatalf("restored stream diverged at draw %d: %d vs %d", i, a, b)
+		}
+	}
+	z := FromState([4]uint64{})
+	if z.Uint64() == 0 && z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("zero state produced a degenerate stream")
+	}
+}
+
 func TestChoose(t *testing.T) {
 	r := New(8)
 	if r.Choose(0) != -1 {

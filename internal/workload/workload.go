@@ -6,8 +6,11 @@
 package workload
 
 import (
+	"fmt"
+
 	"gevo/internal/gpu"
 	"gevo/internal/ir"
+	"gevo/internal/kernels"
 )
 
 // Workload is one optimizable GPU application. Implementations must be safe
@@ -25,6 +28,25 @@ type Workload interface {
 	// Validate runs the module variant against the held-out set, returning
 	// an error unless it passes in full.
 	Validate(m *ir.Module, arch *gpu.Arch) error
+}
+
+// CLINames lists the workload names accepted by ByName, for flag help.
+const CLINames = "adept-v0, adept-v1, simcov"
+
+// ByName builds a workload from its CLI name with the tools' standard
+// dataset seeds — the single registry shared by cmd/gevo, cmd/gevo-islands
+// and friends, so the set of names (which checkpoint files are keyed on)
+// cannot drift between binaries.
+func ByName(name string) (Workload, error) {
+	switch name {
+	case "adept-v0":
+		return NewADEPT(kernels.ADEPTV0, ADEPTOptions{Seed: 11})
+	case "adept-v1":
+		return NewADEPT(kernels.ADEPTV1, ADEPTOptions{Seed: 11})
+	case "simcov":
+		return NewSIMCoV(SIMCoVOptions{Seed: 3})
+	}
+	return nil, fmt.Errorf("unknown workload %q (want %s)", name, CLINames)
 }
 
 // Profiler is implemented by workloads that can attribute cycles to
