@@ -195,6 +195,41 @@ func BenchmarkSimulator_SIMCoVStep(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulator_ADEPTV1Eval_Interp measures the same evaluation under
+// the reference switch interpreter, so `-bench Simulator` reports the
+// threaded-code backend's speedup directly.
+func BenchmarkSimulator_ADEPTV1Eval_Interp(b *testing.B) {
+	defer func(bk gpu.Backend) { gpu.DefaultBackend = bk }(gpu.DefaultBackend)
+	gpu.DefaultBackend = gpu.BackendInterp
+	w, err := NewADEPT(ADEPTV1, ADEPTOptions{Seed: 11, FitPairs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Evaluate(w.Base(), P100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_SIMCoVStep_Interp is the interpreter reference for
+// BenchmarkSimulator_SIMCoVStep.
+func BenchmarkSimulator_SIMCoVStep_Interp(b *testing.B) {
+	defer func(bk gpu.Backend) { gpu.DefaultBackend = bk }(gpu.DefaultBackend)
+	gpu.DefaultBackend = gpu.BackendInterp
+	s, err := NewSIMCoV(SIMCoVOptions{Seed: 3, W: 32, H: 24, Steps: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Evaluate(s.Base(), P100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkKernels_Compile measures the module compile (mutation -> PTX
 // analog) path that runs once per distinct variant.
 func BenchmarkKernels_Compile(b *testing.B) {

@@ -7,10 +7,16 @@
 // (bounds everything), a single-population search, and an island search at
 // the same evaluation budget.
 //
+// Two documents are produced: BENCH_islands.json tracks the search-layer
+// benchmarks (evaluation throughput, single-population and island search),
+// and BENCH_core.json tracks the simulator core — per-backend evaluation
+// latency for the two paper workloads (reference interpreter vs threaded
+// code with uniform-launch memoization) with the speedup between them.
+//
 // Usage:
 //
-//	gevo-bench -out BENCH_islands.json
-//	gevo-bench -out -          # write to stdout
+//	gevo-bench -out BENCH_islands.json -core-out BENCH_core.json
+//	gevo-bench -out -          # write search benchmarks to stdout
 package main
 
 import (
@@ -145,13 +151,123 @@ func benchIslands(pop, gens int) (benchResult, error) {
 	}, nil
 }
 
+// benchSimulator measures one workload's evaluation latency under both
+// execution backends and reports the threaded-over-interpreter speedup.
+func benchSimulator(name string, w workload.Workload, evals int) (benchResult, error) {
+	defer func(b gpu.Backend) { gpu.DefaultBackend = b }(gpu.DefaultBackend)
+	measure := func(backend gpu.Backend) (float64, error) {
+		gpu.DefaultBackend = backend
+		// Warm the compile cache, device pool and launch memo so the loop
+		// measures steady-state evaluation, like the Go benchmarks.
+		if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < evals; i++ {
+			if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / 1000 / float64(evals), nil
+	}
+	interpMs, err := measure(gpu.BackendInterp)
+	if err != nil {
+		return benchResult{}, err
+	}
+	threadedMs, err := measure(gpu.BackendThreaded)
+	if err != nil {
+		return benchResult{}, err
+	}
+	return benchResult{
+		Name:   name,
+		WallMs: threadedMs * float64(evals),
+		Metrics: map[string]float64{
+			"evals":              float64(evals),
+			"interp_ms_per_eval": interpMs,
+			"ms_per_eval":        threadedMs,
+			"ns_per_eval":        threadedMs * 1e6,
+			"evals_per_sec":      1000 / threadedMs,
+			"speedup_vs_interp":  interpMs / threadedMs,
+		},
+	}, nil
+}
+
+// coreSuite runs the simulator-core benchmarks behind BENCH_core.json: the
+// same two workload configurations as BenchmarkSimulator_ADEPTV1Eval and
+// BenchmarkSimulator_SIMCoVStep in bench_test.go.
+func coreSuite(evals int) ([]benchResult, error) {
+	adept, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11, FitPairs: 2})
+	if err != nil {
+		return nil, err
+	}
+	simcov, err := workload.NewSIMCoV(workload.SIMCoVOptions{Seed: 3, W: 32, H: 24, Steps: 8})
+	if err != nil {
+		return nil, err
+	}
+	var out []benchResult
+	for _, b := range []struct {
+		name string
+		w    workload.Workload
+	}{
+		{"sim_adept_v1_eval", adept},
+		{"sim_simcov_step", simcov},
+	} {
+		r, err := benchSimulator(b.name, b.w, evals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.2f ms/eval (%.2fx vs interp)\n",
+			r.Name, r.Metrics["ms_per_eval"], r.Metrics["speedup_vs_interp"])
+	}
+	return out, nil
+}
+
+func writeReport(rep report, path string) error {
+	blob, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gevo-bench: wrote %s\n", path)
+	return nil
+}
+
 func main() {
-	out := flag.String("out", "BENCH_islands.json", "output file ('-' for stdout)")
-	evals := flag.Int("evals", 40, "evaluation count for the throughput benchmark")
+	out := flag.String("out", "BENCH_islands.json", "search-benchmark output file ('' to skip, '-' for stdout)")
+	coreOut := flag.String("core-out", "BENCH_core.json", "simulator-core output file ('' to skip, '-' for stdout)")
+	evals := flag.Int("evals", 40, "evaluation count for the throughput benchmarks")
 	pop := flag.Int("pop", 16, "total population for the search benchmarks")
 	gens := flag.Int("gens", 10, "generations for the search benchmarks")
 	flag.Parse()
 
+	if *coreOut != "" {
+		rep := report{
+			Suite:      "gevo-bench-core",
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			UnixMs:     time.Now().UnixMilli(),
+		}
+		core, err := coreSuite(*evals)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = core
+		if err := writeReport(rep, *coreOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *out == "" {
+		return
+	}
 	rep := report{
 		Suite:      "gevo-bench",
 		GoVersion:  runtime.Version(),
@@ -171,17 +287,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.1f ms\n", r.Name, r.WallMs)
 	}
 
-	blob, err := json.MarshalIndent(rep, "", " ")
-	if err != nil {
+	if err := writeReport(rep, *out); err != nil {
 		fatal(err)
 	}
-	blob = append(blob, '\n')
-	if *out == "-" {
-		os.Stdout.Write(blob)
-		return
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "gevo-bench: wrote %s\n", *out)
 }

@@ -110,7 +110,14 @@ func main() {
 	resume := flag.String("resume", "", "resume from a checkpoint file (topology flags come from the checkpoint)")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
+	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
 	flag.Parse()
+
+	if b, err := gpu.ParseBackend(*backend); err != nil {
+		fatal(err)
+	} else {
+		gpu.DefaultBackend = b
+	}
 
 	w, err := workload.ByName(*wl)
 	if err != nil {

@@ -51,8 +51,15 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel fitness evaluations (0 = GOMAXPROCS)")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
+	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
 	flag.Parse()
 
+	if b, err := gpu.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "gevo:", err)
+		os.Exit(2)
+	} else {
+		gpu.DefaultBackend = b
+	}
 	arch := gpu.ArchByName(*archName)
 	if arch == nil {
 		fmt.Fprintf(os.Stderr, "gevo: unknown arch %q\n", *archName)

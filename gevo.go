@@ -88,6 +88,28 @@ var (
 	Architectures = gpu.Architectures
 )
 
+// Execution backends (DESIGN.md §5). The threaded-code backend is the
+// default; the reference interpreter runs when profiling or when forced.
+type Backend = gpu.Backend
+
+const (
+	// BackendAuto defers to gpu.DefaultBackend (threaded unless profiling).
+	BackendAuto = gpu.BackendAuto
+	// BackendInterp forces the reference switch interpreter.
+	BackendInterp = gpu.BackendInterp
+	// BackendThreaded forces the threaded-code backend.
+	BackendThreaded = gpu.BackendThreaded
+)
+
+// EvalPool is a shared fitness-evaluation pool: one worker budget and one
+// cross-engine single-flight cache serving any number of engines (DESIGN.md
+// §5). Assign it to Config.Pool to share workers across searches.
+type EvalPool = core.EvalPool
+
+// NewEvalPool creates an evaluation pool bounding concurrent simulations
+// (0 = GOMAXPROCS).
+func NewEvalPool(workers int) *EvalPool { return core.NewEvalPool(workers) }
+
 // NewEngine creates a search engine for a workload.
 func NewEngine(w Workload, cfg Config) *Engine { return core.NewEngine(w, cfg) }
 

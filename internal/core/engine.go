@@ -39,8 +39,14 @@ type Config struct {
 	Seed uint64
 	// Arch selects the simulated GPU fitness is measured on.
 	Arch *gpu.Arch
-	// Workers bounds parallel fitness evaluations (0 = GOMAXPROCS).
+	// Workers bounds parallel fitness evaluations (0 = GOMAXPROCS). Ignored
+	// when Pool is set: the pool's own budget governs.
 	Workers int
+	// Pool, when non-nil, is a shared evaluation pool: several engines (the
+	// demes of an island search) submit genome evaluations to one global
+	// worker budget with cross-engine deduplication. Nil gives the engine a
+	// private pool of Workers workers.
+	Pool *EvalPool `json:"-"`
 }
 
 // DefaultConfig returns the paper's search parameters (Section III-E).
@@ -86,6 +92,9 @@ func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.Pool == nil {
+		c.Pool = NewEvalPool(c.Workers)
+	}
 }
 
 // Individual is one population member: a genome and its measured fitness
@@ -124,9 +133,13 @@ type fitnessEntry struct {
 	ms   float64
 }
 
-type fitnessShard struct {
+// seenShard is one shard of the engine's distinct-genome set, backing the
+// per-engine Evaluations counter. Fitness values themselves live in the
+// pool's single-flight cache — keeping them here too would store every
+// result twice.
+type seenShard struct {
 	mu sync.Mutex
-	m  map[string]*fitnessEntry
+	m  map[string]struct{}
 }
 
 // shardOf maps a genome key to its shard (FNV-1a).
@@ -145,11 +158,11 @@ func shardOf(key string) uint32 {
 // a serializable state (Snapshot/RestoreEngine in state.go) so a search can
 // be checkpointed and resumed bit-identically.
 type Engine struct {
-	w      workload.Workload
-	cfg    Config
-	r      *rng.R
-	shards [fitnessShards]fitnessShard
-	evals  atomic.Int64
+	w     workload.Workload
+	cfg   Config
+	r     *rng.R
+	seen  [fitnessShards]seenShard
+	evals atomic.Int64
 
 	// Steppable search state. pop is unevaluated right after Init and
 	// evaluated+sorted after every Step.
@@ -168,52 +181,54 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 		cfg: cfg,
 		r:   rng.New(cfg.Seed),
 	}
-	for i := range e.shards {
-		e.shards[i].m = make(map[string]*fitnessEntry)
+	for i := range e.seen {
+		e.seen[i].m = make(map[string]struct{})
 	}
 	return e
 }
 
-// fitness evaluates a genome through the sharded single-flight cache:
-// concurrent duplicate genomes block on one evaluation instead of racing N
-// full simulations, and each distinct genome counts exactly one evaluation.
+// fitness evaluates a genome through the shared evaluation pool's
+// single-flight cache: concurrent duplicate genomes — within this engine or
+// across engines sharing the pool — block on one simulation instead of
+// racing N. Each distinct genome counts exactly one evaluation for this
+// engine, whether or not the pool had the result already, so Evaluations
+// keeps a deterministic per-engine meaning under cross-deme deduplication.
 func (e *Engine) fitness(genome []Edit) float64 {
-	key := GenomeKey(genome)
-	sh := &e.shards[shardOf(key)]
+	return e.fitnessKeyed(GenomeKey(genome), genome)
+}
 
+func (e *Engine) fitnessKeyed(key string, genome []Edit) float64 {
+	ms := e.cfg.Pool.evaluateGenome(e.w, e.cfg.Arch, genome, key)
+	sh := &e.seen[shardOf(key)]
 	sh.mu.Lock()
-	if ent, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
-		<-ent.done
-		return ent.ms
+	if _, ok := sh.m[key]; !ok {
+		sh.m[key] = struct{}{}
+		e.evals.Add(1)
 	}
-	ent := &fitnessEntry{done: make(chan struct{})}
-	sh.m[key] = ent
 	sh.mu.Unlock()
-
-	m := Variant(e.w.Base(), genome)
-	ms, err := e.w.Evaluate(m, e.cfg.Arch)
-	if err != nil {
-		ms = math.Inf(1)
-	}
-	ent.ms = ms
-	close(ent.done)
-	e.evals.Add(1)
 	return ms
 }
 
-// evaluateAll fills in fitness for the population in parallel.
+// evaluateAll fills in fitness for the population in parallel. Identical
+// genomes are collapsed up front — crossover and elitism make duplicates
+// common — so the pool sees each distinct genome once and the duplicates
+// share the result without even entering the single-flight path.
 func (e *Engine) evaluateAll(pop []Individual) {
-	sem := make(chan struct{}, e.cfg.Workers)
-	var wg sync.WaitGroup
+	groups := make(map[string][]int, len(pop))
 	for i := range pop {
+		key := GenomeKey(pop[i].Genome)
+		groups[key] = append(groups[key], i)
+	}
+	var wg sync.WaitGroup
+	for key, idxs := range groups {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(ind *Individual) {
+		go func(key string, idxs []int) {
 			defer wg.Done()
-			ind.Fitness = e.fitness(ind.Genome)
-			<-sem
-		}(&pop[i])
+			ms := e.fitnessKeyed(key, pop[idxs[0]].Genome)
+			for _, i := range idxs {
+				pop[i].Fitness = ms
+			}
+		}(key, idxs)
 	}
 	wg.Wait()
 }

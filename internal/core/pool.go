@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"gevo/internal/gpu"
+	"gevo/internal/workload"
+)
+
+// EvalPool is a shared fitness-evaluation pool: one worker budget and one
+// single-flight result cache serving any number of engines. Island searches
+// hand every deme the same pool, so heterogeneous rings draw from a single
+// GOMAXPROCS-sized budget instead of oversubscribing the machine with
+// per-deme worker shares, and a genome that several demes breed in the same
+// generation is simulated once per (workload, architecture) rather than
+// once per deme.
+//
+// Determinism: the pool only affects *which goroutine* runs a simulation
+// and *whether* a duplicate simulation is skipped. Fitness itself is a pure
+// function of (workload, architecture, genome), so results are bit-identical
+// for any worker count and any scheduling, and each engine's Evaluations
+// counter keeps its per-deme meaning (distinct genomes the deme requested)
+// regardless of which deme's request reached the simulator first.
+type EvalPool struct {
+	sem    chan struct{}
+	shards [fitnessShards]poolShard
+
+	// ids assigns each workload *instance* a distinct cache namespace.
+	// Workload names identify content shape, not datasets: two ADEPT
+	// workloads built with different seeds share a name but must never
+	// share fitness entries.
+	idMu   sync.Mutex
+	ids    map[workload.Workload]string
+	nextID int
+}
+
+type poolShard struct {
+	mu sync.Mutex
+	m  map[string]*fitnessEntry
+}
+
+// NewEvalPool creates a pool bounding concurrent evaluations at workers
+// (0 = GOMAXPROCS).
+func NewEvalPool(workers int) *EvalPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &EvalPool{sem: make(chan struct{}, workers), ids: make(map[workload.Workload]string)}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*fitnessEntry)
+	}
+	return p
+}
+
+// workloadID returns the pool-local namespace of a workload instance,
+// assigning one on first sight. Only key strings depend on the first-seen
+// order, never results.
+func (p *EvalPool) workloadID(w workload.Workload) string {
+	p.idMu.Lock()
+	defer p.idMu.Unlock()
+	id, ok := p.ids[w]
+	if !ok {
+		id = strconv.Itoa(p.nextID)
+		p.nextID++
+		p.ids[w] = id
+	}
+	return id
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *EvalPool) Workers() int { return cap(p.sem) }
+
+// evaluate returns the fitness for the key, computing it via fn at most
+// once across every engine sharing the pool. Concurrent requesters of an
+// in-flight key block on the first; the worker budget bounds how many fn
+// calls run simultaneously.
+func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
+	sh := &p.shards[shardOf(key)]
+	sh.mu.Lock()
+	if ent, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-ent.done
+		return ent.ms
+	}
+	ent := &fitnessEntry{done: make(chan struct{})}
+	sh.m[key] = ent
+	sh.mu.Unlock()
+
+	p.sem <- struct{}{}
+	ent.ms = fn()
+	<-p.sem
+	close(ent.done)
+	return ent.ms
+}
+
+// evaluateGenome runs one genome of a workload on an architecture through
+// the pool, with the cross-engine cache keyed by workload instance,
+// architecture and genome content.
+func (p *EvalPool) evaluateGenome(w workload.Workload, arch *gpu.Arch, genome []Edit, key string) float64 {
+	full := p.workloadID(w) + "\x00" + arch.Name + "\x00" + key
+	return p.evaluate(full, func() float64 {
+		m := Variant(w.Base(), genome)
+		ms, err := w.Evaluate(m, arch)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return ms
+	})
+}

@@ -20,6 +20,40 @@ type Kernel struct {
 	// constLanes backs the pre-broadcast lane images of constant operands:
 	// 32 identical words per distinct constant value (see carg.pre).
 	constLanes []uint64
+	// oblivious marks kernels whose timing provably cannot depend on memory
+	// contents (see kernelTimingOblivious); such launches are eligible for
+	// uniform-launch timing memoization.
+	oblivious bool
+
+	// Extended register file layout for the threaded backend: totalSlots is
+	// nslots plus one slot per distinct constant, parameter and special
+	// register used by the kernel. The ext* tables describe how Launch and
+	// runBlock fill those extra slots (constants and launch-uniform values
+	// once per launch, blockIdx once per block).
+	totalSlots int
+	extConst   []extConstFill
+	extParam   []extIdxFill
+	extSpec    []extIdxFill
+	extBID     []int32
+	// clearBases lists the register bases the threaded backend must zero at
+	// block start. Verified SSA guarantees every masked read sees a lane its
+	// def wrote — the only instruction that reads lanes outside its active
+	// mask is shfl, so only shfl value operands observe block-initial zeros.
+	// The interpreter conservatively zeroes the whole real register file.
+	clearBases []int32
+}
+
+// extConstFill materializes one distinct constant into an extended slot.
+type extConstFill struct {
+	base  int32
+	lanes []uint64
+}
+
+// extIdxFill materializes one parameter (idx = parameter index) or special
+// register (idx = ir.Special code) into an extended slot.
+type extIdxFill struct {
+	base int32
+	idx  int32
 }
 
 type argKind uint8
@@ -42,6 +76,12 @@ type carg struct {
 	// into the kernel's constLanes table. The executor hands it out directly
 	// instead of materializing the constant once per executed instruction.
 	pre []uint64
+	// ebase is the operand's offset into the extended register file used by
+	// the threaded backend: real registers at slot*warpSize, constants,
+	// parameters and special registers materialized into slots past nslots
+	// at launch/block setup (see finalizeKernel, Launch). With every operand
+	// a register, threaded code needs no operand-kind dispatch at all.
+	ebase int32
 }
 
 // costClass indexes the per-arch issue-cost table resolved once per launch
@@ -107,6 +147,10 @@ type cinstr struct {
 	succs [2]int32 // block indices for terminators
 	uid   int32    // original UID for profiling/fault attribution
 	loc   int32
+	// deadCopy marks an identity copy (sext/trunc to i64) every threaded
+	// consumer was redirected past: the threaded backend only charges its
+	// budget and cycles. The interpreter still executes it normally.
+	deadCopy bool
 }
 
 // phiCopy is one lowered phi move applied when an edge is traversed.
@@ -125,6 +169,9 @@ type phiEdge struct {
 	// Interference-free edges — the overwhelmingly common case — apply their
 	// copies directly.
 	snapshot bool
+	// apply is the threaded-code form of the parallel copy (nil when the
+	// edge carries none); see lowerPhiEdge.
+	apply func(c *blockCtx, w *warp, mask uint32)
 }
 
 type cblock struct {
@@ -138,6 +185,11 @@ type cblock struct {
 	// ipdom is the reconvergence block index for branches out of this
 	// block; -1 means the virtual exit.
 	ipdom int32
+	// uops and fns are the threaded-code form of ins, executed by runWarpU:
+	// hot instruction shapes become dense micro-ops dispatched through one
+	// jump table; the rest keep a specialized closure in fns (code uEscape).
+	uops []uop
+	fns  []execFn
 }
 
 // Compile lowers a verified function to executable form. It returns an error
@@ -292,6 +344,136 @@ func finalizeKernel(k *Kernel) {
 			a.pre = k.constLanes[off : off+warpSize : off+warpSize]
 		}
 	})
+
+	// Extended register file: give every distinct constant, parameter and
+	// special register its own slot past the real registers, so threaded
+	// operands are uniformly register offsets.
+	k.totalSlots = k.nslots
+	constSlot := make(map[uint64]int32)
+	paramSlot := make(map[int32]int32)
+	specSlot := make(map[int32]int32)
+	alloc := func() int32 {
+		base := int32(k.totalSlots * warpSize)
+		k.totalSlots++
+		return base
+	}
+	walkArgs(k, func(a *carg) {
+		switch a.kind {
+		case argReg:
+			a.ebase = a.slot * warpSize
+		case argConst:
+			base, ok := constSlot[a.cval]
+			if !ok {
+				base = alloc()
+				constSlot[a.cval] = base
+				k.extConst = append(k.extConst, extConstFill{base: base, lanes: a.pre})
+			}
+			a.ebase = base
+		case argParam:
+			base, ok := paramSlot[a.idx]
+			if !ok {
+				base = alloc()
+				paramSlot[a.idx] = base
+				k.extParam = append(k.extParam, extIdxFill{base: base, idx: a.idx})
+			}
+			a.ebase = base
+		default: // argSpecial
+			base, ok := specSlot[a.idx]
+			if !ok {
+				base = alloc()
+				specSlot[a.idx] = base
+				k.extSpec = append(k.extSpec, extIdxFill{base: base, idx: a.idx})
+				if ir.Special(a.idx) == ir.SpecialBID {
+					k.extBID = append(k.extBID, base)
+				}
+			}
+			a.ebase = base
+		}
+	})
+
+	// Copy propagation for the threaded backend: sext/trunc to i64 is the
+	// identity on canonical sign-extended registers, so every consumer can
+	// read the source slot directly. Only operand ebase offsets are
+	// rewritten — the interpreter's kind/slot fields stay untouched — and
+	// shfl value operands are exempt (they read lanes outside the producing
+	// mask, where source and copy may legitimately differ). A copy whose
+	// ebase has no remaining reader is lowered to a charge-only uop: budget
+	// and cycle accounting are preserved, the dead lane copy is not.
+	ident := make(map[int32]int32) // dst ebase -> source ebase
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ii := range cb.ins {
+			in := &cb.ins[ii]
+			if (in.op == ir.OpSext || in.op == ir.OpTrunc) && in.typ == ir.I64 && in.dst >= 0 {
+				ident[in.dst*warpSize] = in.args[0].ebase
+			}
+		}
+	}
+	resolve := func(b int32) int32 {
+		for {
+			t, ok := ident[b]
+			if !ok {
+				return b
+			}
+			b = t
+		}
+	}
+	live := make(map[int32]bool)
+	redirect := func(a *carg, exempt bool) {
+		if a.kind != argReg {
+			return
+		}
+		if !exempt {
+			a.ebase = resolve(a.ebase)
+		}
+		live[a.ebase] = true
+	}
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ii := range cb.ins {
+			in := &cb.ins[ii]
+			for ai := range in.args {
+				redirect(&in.args[ai], in.op == ir.OpShfl && ai == 0)
+			}
+		}
+		for ei := range cb.phiFrom {
+			copies := cb.phiFrom[ei].copies
+			for ci := range copies {
+				redirect(&copies[ci].src, false)
+			}
+		}
+	}
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ii := range cb.ins {
+			in := &cb.ins[ii]
+			if in.dst < 0 {
+				continue
+			}
+			if _, isIdent := ident[in.dst*warpSize]; isIdent && !live[in.dst*warpSize] {
+				in.deadCopy = true
+			}
+		}
+	}
+
+	// Shfl value operands read lanes outside the active mask, so their
+	// slots must observe block-initial zeros (see clearBases).
+	seenClear := make(map[int32]bool)
+	for bi := range k.blocks {
+		cb := &k.blocks[bi]
+		for ii := range cb.ins {
+			in := &cb.ins[ii]
+			if in.op == ir.OpShfl && in.args[0].kind == argReg && !seenClear[in.args[0].ebase] {
+				seenClear[in.args[0].ebase] = true
+				k.clearBases = append(k.clearBases, in.args[0].ebase)
+			}
+		}
+	}
+
+	// Threaded-code lowering must follow the constant pre-broadcast and the
+	// extended-slot assignment: the closures capture the offsets directly.
+	lowerKernel(k)
+	k.oblivious = kernelTimingOblivious(k)
 }
 
 // walkArgs visits every resolved operand of the kernel, including phi-copy

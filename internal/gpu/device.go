@@ -31,6 +31,11 @@ type Device struct {
 	// launch holds per-launch execution state (register file, warps, shared
 	// memory) reused across launches on this device.
 	launch launchState
+	// memo caches the makespan of timing-oblivious launches by signature
+	// (see uniform.go). It survives Release: timing of such launches is
+	// independent of memory contents, so recycled devices keep their warm
+	// entries across evaluations.
+	memo map[*Kernel][]memoEntry
 }
 
 // NewDevice creates a device with the architecture's default arena capacity.

@@ -1,0 +1,271 @@
+package gpu
+
+import (
+	"bytes"
+	"testing"
+
+	"gevo/internal/ir"
+)
+
+// buildOpSoup exercises every hot uop shape in one kernel: integer and
+// float arithmetic in several widths, comparisons, selects, conversions,
+// divergence, a loop with phis, shared memory with a barrier, shfl, ballot
+// and atomics.
+func buildOpSoup() *ir.Function {
+	b := ir.NewBuilder("opsoup")
+	in := b.Param("in", ir.I64)
+	out := b.Param("out", ir.I64)
+	n := b.Param("n", ir.I32)
+	sh := b.SharedArray("scratch", 128, 4)
+
+	b.Block("entry")
+	tid := b.Special(ir.SpecialTID)
+	bid := b.Special(ir.SpecialBID)
+	gid := b.Add(b.Mul(bid, b.Special(ir.SpecialBDim)), tid)
+	inb := b.ICmp(ir.PredLT, gid, n)
+	b.CondBr(inb, "body", "exit")
+
+	b.Block("body")
+	v := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(in, gid, 4))
+	// Integer soup.
+	a1 := b.Add(v, b.I32(3))
+	a2 := b.Sub(a1, tid)
+	a3 := b.Mul(a2, b.I32(5))
+	a4 := b.And(a3, b.I32(0xFFFF))
+	a5 := b.Xor(a4, b.I32(0x55))
+	a6 := b.SMax(a5, b.I32(1))
+	a7 := b.SMin(a6, b.I32(1<<14))
+	a8 := b.SDiv(a7, b.I32(3))
+	a9 := b.SRem(a8, b.I32(17))
+	// Float soup.
+	f1 := b.SIToFP(a9)
+	f2 := b.FMul(f1, b.F64(1.5))
+	f3 := b.FAdd(f2, b.F64(0.25))
+	f4 := b.FSub(f3, b.F64(0.125))
+	fc := b.FCmp(ir.PredGT, f4, b.F64(2.0))
+	i1 := b.FPToSI(ir.I32, f4)
+	sel := b.Select(fc, i1, a9)
+	// Shared round-trip with a barrier.
+	b.Store(ir.SpaceShared, sel, b.SharedAddr(sh, tid, 4))
+	b.Barrier()
+	neighbor := b.Xor(tid, b.I32(1))
+	nval := b.Load(ir.I32, ir.SpaceShared, b.SharedAddr(sh, neighbor, 4))
+	// Warp primitives.
+	shf := b.Shfl(nval, b.Xor(b.Special(ir.SpecialLane), b.I32(3)))
+	blt := b.Ballot(b.ICmp(ir.PredNE, shf, b.I32(0)))
+	am := b.ActiveMask()
+	mix := b.Add(b.Add(shf, blt), am)
+	// Divergence on a data-dependent condition.
+	odd := b.ICmp(ir.PredEQ, b.And(mix, b.I32(1)), b.I32(1))
+	b.CondBr(odd, "slow", "merge")
+
+	b.Block("slow")
+	s2 := b.Mul(mix, b.I32(3))
+	b.Br("merge")
+
+	b.Block("merge")
+	ph := b.Phi(ir.I32, ir.Incoming{Block: "body", Val: mix}, ir.Incoming{Block: "slow", Val: s2})
+	// Loop accumulating with phis.
+	b.Br("loop")
+
+	b.Block("loop")
+	iPhi := b.Phi(ir.I32, ir.Incoming{Block: "merge", Val: b.I32(0)})
+	accPhi := b.Phi(ir.I32, ir.Incoming{Block: "merge", Val: ph.Result()})
+	i2 := b.Add(iPhi.Result(), b.I32(1))
+	acc2 := b.Add(accPhi.Result(), i2)
+	b.AddIncoming(iPhi, "loop", i2)
+	b.AddIncoming(accPhi, "loop", acc2)
+	more := b.ICmp(ir.PredLT, i2, b.I32(5))
+	b.CondBr(more, "loop", "done")
+
+	b.Block("done")
+	b.AtomicAdd(ir.SpaceGlobal, b.GlobalIdx(out, b.SRem(gid, b.I32(4)), 4), acc2)
+	b.Store(ir.SpaceGlobal, acc2, b.GlobalIdx(out, b.Add(gid, b.I32(8)), 4))
+	b.Br("exit")
+
+	b.Block("exit")
+	b.Ret()
+	return b.Finish()
+}
+
+// runBackend executes the kernel on a fresh device under one backend and
+// returns the result plus the final arena image.
+func runBackend(t *testing.T, f *ir.Function, backend Backend, grid, block int, input []int32) (*Result, []byte) {
+	t.Helper()
+	k := mustCompile(t, f)
+	d := NewDevice(P100)
+	in, err := d.Alloc(4 * len(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteI32s(in, input); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Alloc(4 * 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Launch(k, LaunchConfig{
+		Grid: grid, Block: block,
+		Args:    []uint64{uint64(in), uint64(out), uint64(int64(len(input)))},
+		Backend: backend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := append([]byte(nil), d.mem...)
+	return res, mem
+}
+
+// TestBackendDifferentialSynthetic compares the interpreter and the
+// threaded backend per launch: cycles, dynamic instruction counts and the
+// entire final memory image must match bit for bit, including partial
+// final warps and divergent control flow.
+func TestBackendDifferentialSynthetic(t *testing.T) {
+	f := buildOpSoup()
+	input := make([]int32, 100)
+	for i := range input {
+		input[i] = int32(i*7 - 50)
+	}
+	for _, geom := range []struct{ grid, block int }{
+		{2, 64},  // full warps
+		{3, 48},  // partial final warp per block
+		{1, 100}, // ragged block, partial warp
+	} {
+		ri, memI := runBackend(t, f, BackendInterp, geom.grid, geom.block, input)
+		rt, memT := runBackend(t, f, BackendThreaded, geom.grid, geom.block, input)
+		if ri.Cycles != rt.Cycles {
+			t.Errorf("%dx%d: cycles interp %v != threaded %v", geom.grid, geom.block, ri.Cycles, rt.Cycles)
+		}
+		if ri.DynInstrs != rt.DynInstrs {
+			t.Errorf("%dx%d: dyninstrs interp %v != threaded %v", geom.grid, geom.block, ri.DynInstrs, rt.DynInstrs)
+		}
+		if !bytes.Equal(memI, memT) {
+			t.Errorf("%dx%d: memory images differ", geom.grid, geom.block)
+		}
+	}
+}
+
+// TestUniformLaunchMemo pins the uniform-launch memoization: a
+// timing-oblivious kernel relaunched with an identical signature must
+// replay the recorded cycle count while still applying functional effects,
+// and changing any part of the signature must bypass the memo.
+func TestUniformLaunchMemo(t *testing.T) {
+	f := buildVecAdd()
+	k := mustCompile(t, f)
+	if !k.TimingOblivious() {
+		t.Fatal("vecadd should be timing-oblivious")
+	}
+
+	d := NewDevice(P100)
+	const n = 200
+	a, _ := d.Alloc(4 * n)
+	bb, _ := d.Alloc(4 * n)
+	out, _ := d.Alloc(4 * n)
+	av := make([]int32, n)
+	bv := make([]int32, n)
+	for i := range av {
+		av[i] = int32(i)
+		bv[i] = int32(3 * i)
+	}
+	if err := d.WriteI32s(a, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteI32s(bb, bv); err != nil {
+		t.Fatal(err)
+	}
+	cfg := LaunchConfig{Grid: 7, Block: 32, Args: []uint64{uint64(a), uint64(bb), uint64(out), uint64(int64(n))}}
+
+	r1, err := d.Launch(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change the inputs: timing must replay identically, outputs must
+	// reflect the new data.
+	for i := range av {
+		av[i] = int32(1000 - i)
+	}
+	if err := d.WriteI32s(a, av); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.Launch(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles != r1.Cycles || r2.DynInstrs != r1.DynInstrs {
+		t.Fatalf("memo replay: got %v/%v, want %v/%v", r2.Cycles, r2.DynInstrs, r1.Cycles, r1.DynInstrs)
+	}
+	got, err := d.ReadI32s(out, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if want := av[i] + bv[i]; got[i] != want {
+			t.Fatalf("replay output[%d] = %d, want %d (functional effects must not be memoized)", i, got[i], want)
+		}
+	}
+
+	// The memo must agree with the interpreter exactly.
+	cfgInterp := cfg
+	cfgInterp.Backend = BackendInterp
+	ri, err := d.Launch(k, cfgInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Cycles != r2.Cycles {
+		t.Fatalf("interp cycles %v != memo cycles %v", ri.Cycles, r2.Cycles)
+	}
+
+	// A different signature (grid size) bypasses the memo and re-times.
+	cfg2 := cfg
+	cfg2.Grid = 6
+	r3, err := d.Launch(k, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cycles == r1.Cycles {
+		t.Error("different grid should schedule differently")
+	}
+}
+
+// TestDataDependentKernelNotOblivious pins the taint analysis: a kernel
+// whose branch depends on loaded data must not be classified
+// timing-oblivious.
+func TestDataDependentKernelNotOblivious(t *testing.T) {
+	b := ir.NewBuilder("databranch")
+	in := b.Param("in", ir.I64)
+	out := b.Param("out", ir.I64)
+	b.Block("entry")
+	tid := b.Special(ir.SpecialTID)
+	v := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(in, tid, 4))
+	pos := b.ICmp(ir.PredGT, v, b.I32(0))
+	b.CondBr(pos, "yes", "exit")
+	b.Block("yes")
+	b.Store(ir.SpaceGlobal, v, b.GlobalIdx(out, tid, 4))
+	b.Br("exit")
+	b.Block("exit")
+	b.Ret()
+	k := mustCompile(t, b.Finish())
+	if k.TimingOblivious() {
+		t.Error("load-dependent branch must disqualify timing obliviousness")
+	}
+
+	// Same shape with the branch on tid instead: oblivious.
+	b2 := ir.NewBuilder("tidbranch")
+	in2 := b2.Param("in", ir.I64)
+	out2 := b2.Param("out", ir.I64)
+	b2.Block("entry")
+	tid2 := b2.Special(ir.SpecialTID)
+	v2 := b2.Load(ir.I32, ir.SpaceGlobal, b2.GlobalIdx(in2, tid2, 4))
+	pos2 := b2.ICmp(ir.PredGT, tid2, b2.I32(0))
+	b2.CondBr(pos2, "yes", "exit")
+	b2.Block("yes")
+	b2.Store(ir.SpaceGlobal, v2, b2.GlobalIdx(out2, tid2, 4))
+	b2.Br("exit")
+	b2.Block("exit")
+	b2.Ret()
+	k2 := mustCompile(t, b2.Finish())
+	if !k2.TimingOblivious() {
+		t.Error("tid-dependent branch with untainted addresses should be oblivious")
+	}
+}

@@ -86,6 +86,12 @@ type blockCtx struct {
 	lanes    [warpSize]int
 	bankWord [warpSize]int64
 	phiTmp   []uint64
+	// threaded selects the threaded-code backend (runWarpT) for this launch.
+	threaded bool
+	// fast is set during a memoized uniform-launch replay: the launch's
+	// cycle count is already known, so memory instructions skip the cost
+	// model and execute functionally only (see uniform.go).
+	fast bool
 }
 
 // laneLanes and zeroLanes are the static lane images of the lane-id special

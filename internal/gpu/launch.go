@@ -23,7 +23,14 @@ type LaunchConfig struct {
 	MaxDynInstr int64
 	// Profile, when non-nil, accumulates per-instruction cycle and
 	// execution counts (the nvprof analog used by the edit analysis).
+	// Profiling is strictly opt-in: it forces the reference interpreter
+	// backend, so the threaded search path never pays a per-instruction
+	// recording branch.
 	Profile *Profile
+	// Backend selects the execution engine. The default (BackendAuto)
+	// defers to the package-level DefaultBackend and ultimately to the
+	// threaded backend; a non-nil Profile always selects the interpreter.
+	Backend Backend
 }
 
 // DefaultDynInstrBudget is the per-launch dynamic instruction budget when
@@ -95,17 +102,48 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	}
 	remaining := budget
 
+	// Backend selection: profiling records through the reference
+	// interpreter; everything else runs threaded code unless explicitly
+	// forced otherwise.
+	backend := cfg.Backend
+	if backend == BackendAuto {
+		backend = DefaultBackend
+	}
+	if backend == BackendAuto {
+		backend = BackendThreaded
+	}
+	if cfg.Profile != nil {
+		backend = BackendInterp
+	}
+	threaded := backend == BackendThreaded
+
+	// Uniform-launch memoization: a timing-oblivious kernel launched with a
+	// signature this device has timed before replays functionally with the
+	// recorded makespan (see uniform.go).
+	replay := false
+	var memoCycles float64
+	if threaded && k.oblivious {
+		memoCycles, replay = d.memoGet(k, d.Arch, &cfg)
+	}
+
 	nwarps := (cfg.Block + warpSize - 1) / warpSize
+	stride := k.totalSlots * warpSize
 	ls := &d.launch
-	ls.regs = grow(ls.regs, k.nslots*warpSize*nwarps)
+	ls.regs = grow(ls.regs, stride*nwarps)
 	ls.shared = grow(ls.shared, k.SharedBytes)
 	ls.warps = grow(ls.warps, nwarps)
 	ls.warpPtrs = grow(ls.warpPtrs, nwarps)
 	for wi := 0; wi < nwarps; wi++ {
 		w := &ls.warps[wi]
 		w.id = wi
-		w.regs = ls.regs[wi*k.nslots*warpSize : (wi+1)*k.nslots*warpSize]
+		w.regs = ls.regs[wi*stride : (wi+1)*stride]
 		fillLanes(&w.idLanes, uint64(int64(wi)))
+		// The thread-id image is block-invariant (tid = warp*32 + lane):
+		// fill it once per launch, not once per block.
+		w.tidBase = int32(wi * warpSize)
+		for l := range w.tidLanes {
+			w.tidLanes[l] = uint64(int64(w.tidBase) + int64(l))
+		}
 		ls.warpPtrs[wi] = w
 	}
 
@@ -120,6 +158,8 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	ctx.warps = ls.warpPtrs
 	ctx.prof = cfg.Profile
 	ctx.budget = &remaining
+	ctx.threaded = threaded
+	ctx.fast = replay
 	ctx.costs = resolveCosts(d.Arch)
 	ctx.paramLanes = grow(ctx.paramLanes, len(cfg.Args)*warpSize)
 	for i, v := range cfg.Args {
@@ -130,6 +170,47 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	}
 	fillLanes(&ctx.bdimLanes, uint64(int64(ctx.blockDim)))
 	fillLanes(&ctx.gdimLanes, uint64(int64(ctx.gridDim)))
+
+	// Fill the launch-uniform extended register slots of every warp:
+	// constants, parameters, and all special registers except blockIdx
+	// (refilled per block by runBlock). Real registers are cleared per
+	// block; the extended region persists across blocks.
+	fillSeg := func(seg []uint64, v uint64) {
+		for l := range seg {
+			seg[l] = v
+		}
+	}
+	for wi := 0; wi < nwarps; wi++ {
+		w := &ls.warps[wi]
+		for _, ec := range k.extConst {
+			copy(w.regs[ec.base:ec.base+warpSize], ec.lanes)
+		}
+		for _, ep := range k.extParam {
+			fillSeg(w.regs[ep.base:ep.base+warpSize], cfg.Args[ep.idx])
+		}
+		for _, es := range k.extSpec {
+			seg := w.regs[es.base : es.base+warpSize]
+			switch ir.Special(es.idx) {
+			case ir.SpecialTID:
+				base := int64(wi * warpSize)
+				for l := range seg {
+					seg[l] = uint64(base + int64(l))
+				}
+			case ir.SpecialLane:
+				copy(seg, laneLanes[:])
+			case ir.SpecialWarp:
+				fillSeg(seg, uint64(int64(wi)))
+			case ir.SpecialBDim:
+				fillSeg(seg, uint64(int64(ctx.blockDim)))
+			case ir.SpecialGDim:
+				fillSeg(seg, uint64(int64(ctx.gridDim)))
+			case ir.SpecialBID:
+				// per block; see runBlock
+			default:
+				fillSeg(seg, 0)
+			}
+		}
+	}
 
 	ls.blockCycles = grow(ls.blockCycles, cfg.Grid)
 	for b := 0; b < cfg.Grid; b++ {
@@ -143,8 +224,16 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 		ls.blockCycles[b] = cyc
 	}
 
-	ls.smTime = grow(ls.smTime, max(d.Arch.SMs, 1))
-	cycles := scheduleBlocks(ls.blockCycles, ls.smTime)
+	var cycles float64
+	if replay {
+		cycles = memoCycles
+	} else {
+		ls.smTime = grow(ls.smTime, max(d.Arch.SMs, 1))
+		cycles = scheduleBlocks(ls.blockCycles, ls.smTime)
+		if threaded && k.oblivious {
+			d.memoPut(k, d.Arch, &cfg, cycles)
+		}
+	}
 	res := &Result{
 		Cycles:    cycles,
 		TimeMS:    d.Arch.TimeMS(cycles),
@@ -165,11 +254,9 @@ func (c *blockCtx) runBlock(blockID int32) (float64, error) {
 	fillLanes(&c.bidLanes, uint64(int64(blockID)))
 	clear(c.shared)
 	nThreads := int(c.blockDim)
+	realWords := c.k.nslots * warpSize
+	bid := uint64(int64(blockID))
 	for wi, w := range c.warps {
-		w.tidBase = int32(wi * warpSize)
-		for l := range w.tidLanes {
-			w.tidLanes[l] = uint64(int64(w.tidBase) + int64(l))
-		}
 		w.cycles = 0
 		w.waiting = false
 		w.done = false
@@ -182,7 +269,24 @@ func (c *blockCtx) runBlock(blockID int32) (float64, error) {
 		}
 		w.stack = w.stack[:0]
 		w.stack = append(w.stack, simtEntry{block: 0, pc: 0, reconv: -1, mask: w.initMask})
-		clear(w.regs)
+		if c.threaded {
+			// Verified SSA reads only lanes its defs wrote, except shfl
+			// value operands (see Kernel.clearBases): zero exactly those.
+			// Extended slots persist from launch setup.
+			for _, b := range c.k.clearBases {
+				clear(w.regs[b : b+warpSize])
+			}
+			for _, b := range c.k.extBID {
+				seg := w.regs[b : b+warpSize]
+				for l := range seg {
+					seg[l] = bid
+				}
+			}
+		} else {
+			// The reference interpreter keeps the conservative contract:
+			// the whole real register file starts zeroed every block.
+			clear(w.regs[:realWords])
+		}
 	}
 
 	for {
@@ -192,7 +296,13 @@ func (c *blockCtx) runBlock(blockID int32) (float64, error) {
 				continue
 			}
 			ran = true
-			if err := c.runWarp(w); err != nil {
+			var err error
+			if c.threaded {
+				err = c.runWarpU(w)
+			} else {
+				err = c.runWarp(w)
+			}
+			if err != nil {
 				return 0, err
 			}
 		}

@@ -163,8 +163,9 @@ func Restore(w workload.Workload, cp *Checkpoint) (*Search, error) {
 	}
 	s := &Search{cfg: cfg, w: w, demes: make([]*core.Engine, cfg.Demes), gen: cp.Gen, migrations: cp.Migrations}
 	seeds := demeSeeds(cfg.Seed, cfg.Demes)
+	pool := core.NewEvalPool(cfg.Workers)
 	for i, st := range cp.Demes {
-		d, err := core.RestoreEngine(w, cfg.demeConfig(i, seeds[i]), st)
+		d, err := core.RestoreEngine(w, cfg.demeConfig(i, seeds[i], pool), st)
 		if err != nil {
 			return nil, fmt.Errorf("island: deme %d: %w", i, err)
 		}

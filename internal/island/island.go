@@ -60,10 +60,11 @@ type Config struct {
 	// Overrides optionally customizes individual demes; its length must be
 	// zero or Demes.
 	Overrides []Override
-	// Workers caps concurrent fitness evaluations (0 = GOMAXPROCS): each
-	// deme gets an equal share, minimum one. Demes always step
-	// concurrently, so the effective total is at least one evaluation per
-	// deme — max(Demes, Workers), not Workers, when Workers < Demes.
+	// Workers caps concurrent fitness evaluations across the whole ring
+	// (0 = GOMAXPROCS). All demes submit to one shared core.EvalPool, so a
+	// deme that finishes its generation early frees its workers to the
+	// demes still evaluating, and heterogeneous rings no longer
+	// oversubscribe GOMAXPROCS with per-deme worker shares.
 	Workers int
 }
 
@@ -91,16 +92,14 @@ func (c *Config) fill() {
 }
 
 // demeConfig materializes deme i's engine configuration: the base template,
-// a seed derived from the master stream, an equal worker share, and any
-// per-deme overrides.
-func (c *Config) demeConfig(i int, seed uint64) core.Config {
+// a seed derived from the master stream, the ring's shared evaluation pool,
+// and any per-deme overrides.
+func (c *Config) demeConfig(i int, seed uint64, pool *core.EvalPool) core.Config {
 	cfg := c.Base
 	cfg.Seed = seed
 	cfg.Generations = c.Generations
-	cfg.Workers = c.Workers / c.Demes
-	if cfg.Workers < 1 {
-		cfg.Workers = 1
-	}
+	cfg.Workers = c.Workers
+	cfg.Pool = pool
 	if i < len(c.Overrides) {
 		o := c.Overrides[i]
 		if o.Arch != nil {
@@ -177,8 +176,12 @@ func New(w workload.Workload, cfg Config) (*Search, error) {
 	}
 	s := &Search{cfg: cfg, w: w, demes: make([]*core.Engine, cfg.Demes)}
 	seeds := demeSeeds(cfg.Seed, cfg.Demes)
+	// One shared pool for the whole ring: a single worker budget plus
+	// cross-deme single-flight, so a genome bred by several demes in the
+	// same generation simulates once per architecture.
+	pool := core.NewEvalPool(cfg.Workers)
 	for i := range s.demes {
-		s.demes[i] = core.NewEngine(w, cfg.demeConfig(i, seeds[i]))
+		s.demes[i] = core.NewEngine(w, cfg.demeConfig(i, seeds[i], pool))
 	}
 	errs := make([]error, len(s.demes))
 	s.each(func(i int, d *core.Engine) { errs[i] = d.Init() })

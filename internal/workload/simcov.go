@@ -19,7 +19,12 @@ type SIMCoV struct {
 	// Padded selects the zero-padded kernel layout (Fig 10c).
 	Padded bool
 
-	base       *ir.Module
+	base     *ir.Module
+	baseProg *gpu.Program // compiled base (Base() callers clone before editing)
+	// initFit and initLarge are the precomputed initial device images (RNG
+	// streams, virion point sources) of the two grid geometries.
+	initFit    *covInit
+	initLarge  *covInit
 	bands      *simcov.Bands // fitness-length tolerance bands
 	longBands  *simcov.Bands // held-out longer-run bands
 	largeBands *simcov.Bands // held-out large-grid bands
@@ -96,7 +101,51 @@ func NewSIMCoV(opt SIMCoVOptions) (*SIMCoV, error) {
 	s.bands = simcov.ComputeBands(p, p.Steps, bandReps, bandSigma, bandFloor, bandMin)
 	s.longBands = simcov.ComputeBands(p, s.longSteps, bandReps, bandSigma, bandFloor, bandMin)
 	s.largeBands = simcov.ComputeBands(s.largeP, s.largeP.Steps, bandReps, bandSigma, bandFloor, bandMin)
+	s.initFit = buildCovInit(p, s.Padded)
+	s.initLarge = buildCovInit(s.largeP, s.Padded)
+	if prog, err := gpu.Prepare(s.base); err == nil {
+		s.baseProg = prog
+	}
 	return s, nil
+}
+
+// prepare returns the compiled program for a variant, short-circuiting the
+// content hash for the immutable base module.
+func (s *SIMCoV) prepare(m *ir.Module) (*gpu.Program, error) {
+	if m == s.base && s.baseProg != nil {
+		return s.baseProg, nil
+	}
+	return gpu.Prepare(m)
+}
+
+// covInit is the initial device state of one grid geometry, marshalled once
+// at workload construction: per-cell RNG streams and the virion sources.
+type covInit struct {
+	rng     []byte
+	virions []float64
+}
+
+func buildCovInit(p simcov.Params, padded bool) *covInit {
+	n := p.W * p.H
+	ci := &covInit{rng: make([]byte, 8*n)}
+	for i := 0; i < n; i++ {
+		v := simcov.SeedCell(p.Seed, i)
+		for b := 0; b < 8; b++ {
+			ci.rng[8*i+b] = byte(v >> (8 * b))
+		}
+	}
+	v0 := simcov.InitialVirions(p)
+	if padded {
+		pv := make([]float64, (p.W+2)*(p.H+2))
+		for y := 0; y < p.H; y++ {
+			for x := 0; x < p.W; x++ {
+				pv[(y+1)*(p.W+2)+(x+1)] = v0[y*p.W+x]
+			}
+		}
+		v0 = pv
+	}
+	ci.virions = v0
+	return ci
 }
 
 // Name implements Workload.
@@ -107,14 +156,14 @@ func (s *SIMCoV) Base() *ir.Module { return s.base }
 
 // Evaluate implements Workload: the fitness run.
 func (s *SIMCoV) Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error) {
-	ms, _, err := s.simulate(m, arch, s.Params, s.Params.Steps, s.bands, 0, nil)
+	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, nil)
 	return ms, err
 }
 
 // EvaluateProfiled implements Profiler.
 func (s *SIMCoV) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
 	profs := map[string]*gpu.Profile{}
-	ms, _, err := s.simulate(m, arch, s.Params, s.Params.Steps, s.bands, 0, profs)
+	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, profs)
 	return ms, profs, err
 }
 
@@ -123,10 +172,10 @@ func (s *SIMCoV) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[st
 func (s *SIMCoV) Validate(m *ir.Module, arch *gpu.Arch) error {
 	pp := s.Params
 	pp.Steps = s.longSteps
-	if _, _, err := s.simulate(m, arch, pp, s.longSteps, s.longBands, 0, nil); err != nil {
+	if _, _, err := s.simulate(m, arch, pp, s.initFit, s.longSteps, s.longBands, 0, nil); err != nil {
 		return fmt.Errorf("long run: %w", err)
 	}
-	if _, _, err := s.simulate(m, arch, s.largeP, s.largeP.Steps, s.largeBands, s.largeArena(), nil); err != nil {
+	if _, _, err := s.simulate(m, arch, s.largeP, s.initLarge, s.largeP.Steps, s.largeBands, s.largeArena(), nil); err != nil {
 		return fmt.Errorf("large grid: %w", err)
 	}
 	return nil
@@ -135,7 +184,7 @@ func (s *SIMCoV) Validate(m *ir.Module, arch *gpu.Arch) error {
 // RunStats executes the variant and returns its stats trajectory without
 // band checking (used by analysis tools and tests).
 func (s *SIMCoV) RunStats(m *ir.Module, arch *gpu.Arch) (float64, []simcov.Stats, error) {
-	ms, stats, err := s.simulate(m, arch, s.Params, s.Params.Steps, nil, 0, nil)
+	ms, stats, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, nil, 0, nil)
 	return ms, stats, err
 }
 
@@ -199,7 +248,7 @@ type covDevice struct {
 // reads see plausible small values, and the final small stats buffer leaves
 // the forward overrun of the last grid pointing at free arena (silent) or
 // past the arena end (fault) depending on capacity.
-func setupCov(d *gpu.Device, prog *gpu.Program, p simcov.Params, padded bool, budget int64, profs map[string]*gpu.Profile) (*covDevice, error) {
+func setupCov(d *gpu.Device, prog *gpu.Program, p simcov.Params, padded bool, init *covInit, budget int64, profs map[string]*gpu.Profile) (*covDevice, error) {
 	n := p.W * p.H
 	pn := n
 	if padded {
@@ -219,28 +268,12 @@ func setupCov(d *gpu.Device, prog *gpu.Program, p simcov.Params, padded bool, bu
 		*ptrs[i] = base
 	}
 
-	// Initial state: RNG streams and virion point sources.
-	rngInit := make([]byte, 8*n)
-	for i := 0; i < n; i++ {
-		v := simcov.SeedCell(p.Seed, i)
-		for b := 0; b < 8; b++ {
-			rngInit[8*i+b] = byte(v >> (8 * b))
-		}
-	}
-	if err := d.WriteBytes(cd.rng, rngInit); err != nil {
+	// Initial state: RNG streams and virion point sources (precomputed by
+	// buildCovInit; uploaded per evaluation).
+	if err := d.WriteBytes(cd.rng, init.rng); err != nil {
 		return nil, err
 	}
-	v0 := simcov.InitialVirions(p)
-	if padded {
-		pv := make([]float64, pn)
-		for y := 0; y < p.H; y++ {
-			for x := 0; x < p.W; x++ {
-				pv[(y+1)*(p.W+2)+(x+1)] = v0[y*p.W+x]
-			}
-		}
-		v0 = pv
-	}
-	if err := d.WriteF64s(cd.virions, v0); err != nil {
+	if err := d.WriteF64s(cd.virions, init.virions); err != nil {
 		return nil, err
 	}
 
@@ -367,8 +400,8 @@ func (cd *covDevice) step(p simcov.Params) (float64, simcov.Stats, error) {
 // simulate runs `steps` iterations on a fresh device, checking each step's
 // stats against the bands when provided. arenaBytes overrides the device
 // capacity (0 = the architecture default).
-func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, steps int, bands *simcov.Bands, arenaBytes int, profs map[string]*gpu.Profile) (float64, []simcov.Stats, error) {
-	prog, err := gpu.Prepare(m)
+func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, init *covInit, steps int, bands *simcov.Bands, arenaBytes int, profs map[string]*gpu.Profile) (float64, []simcov.Stats, error) {
+	prog, err := s.prepare(m)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -379,7 +412,7 @@ func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, steps i
 		d = gpu.AcquireDevice(arch)
 	}
 	defer d.Release()
-	cd, err := setupCov(d, prog, p, s.Padded, s.budget, profs)
+	cd, err := setupCov(d, prog, p, s.Padded, init, s.budget, profs)
 	if err != nil {
 		return 0, nil, err
 	}
