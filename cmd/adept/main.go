@@ -11,10 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gevo/internal/align"
 	"gevo/internal/gpu"
-	"gevo/internal/kernels"
 	"gevo/internal/workload"
 )
 
@@ -22,20 +22,24 @@ func main() {
 	pairs := flag.Int("pairs", 8, "number of sequence pairs")
 	refLen := flag.Int("ref", 96, "reference length")
 	qLen := flag.Int("query", 64, "query length (max 128, warp multiple recommended)")
-	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
+	archName := flag.String("arch", "P100", "GPU: "+strings.Join(gpu.ArchNames(), ", "))
 	seed := flag.Uint64("seed", 42, "dataset seed")
 	flag.Parse()
 
-	arch := gpu.ArchByName(*archName)
-	if arch == nil {
-		fmt.Fprintf(os.Stderr, "adept: unknown arch %q\n", *archName)
+	arch, err := gpu.ResolveArch(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adept:", err)
 		os.Exit(2)
 	}
-	for _, v := range []kernels.ADEPTVersion{kernels.ADEPTV0, kernels.ADEPTV1} {
-		w, err := workload.NewADEPT(v, workload.ADEPTOptions{
-			Seed: *seed, FitPairs: *pairs, HoldoutPairs: *pairs,
-			RefLen: *refLen, QueryLen: *qLen,
-		})
+	// Both code versions come from the shared workload registry — the same
+	// names cmd/gevo and the serve API accept — with this tool's dataset
+	// shape layered on.
+	opts := workload.Options{ADEPT: &workload.ADEPTOptions{
+		Seed: *seed, FitPairs: *pairs, HoldoutPairs: *pairs,
+		RefLen: *refLen, QueryLen: *qLen,
+	}}
+	for _, name := range []string{"adept-v0", "adept-v1"} {
+		w, err := workload.ByNameWith(name, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adept:", err)
 			os.Exit(1)
@@ -46,7 +50,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s on %s: %d pairs in %.4f simulated ms (outputs verified)\n",
-			v, arch.Name, *pairs, ms)
+			w.Name(), arch.Name, *pairs, ms)
 	}
 
 	// Show one alignment end to end via the CPU reference.

@@ -20,17 +20,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"gevo/internal/core"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
+	"gevo/internal/serve"
+	"gevo/internal/serve/client"
 	"gevo/internal/workload"
 )
 
@@ -223,6 +229,109 @@ func coreSuite(evals int) ([]benchResult, error) {
 	return out, nil
 }
 
+// serveSuite is a load-style benchmark of the search-as-a-service layer:
+// a real gevo-serve stack (durable manager + HTTP + SSE) on a loopback
+// port, a mixed stream of ADEPT and SIMCoV jobs submitted through the
+// typed client, and end-to-end job latency measured from the server's own
+// submit/done timestamps. One duplicate of the first spec rides along to
+// exercise the single-flight path under load.
+func serveSuite(jobs, executors int) ([]benchResult, error) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if executors < 1 {
+		executors = 1
+	}
+	dir, err := os.MkdirTemp("", "gevo-serve-bench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := serve.Open(serve.Options{Dir: dir, Executors: executors})
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.NewServer(m)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	mutation, crossover := 0.5, 0.8
+	spec := func(i int) serve.JobSpec {
+		wl := "adept-v0"
+		if i%2 == 1 {
+			wl = "simcov"
+		}
+		return serve.JobSpec{
+			Workload: wl, Demes: 2, Pop: 6,
+			Generations: 8, MigrationInterval: 4, MigrationSize: 1,
+			MutationRate: &mutation, CrossoverRate: &crossover,
+			Seed: uint64(100 + i),
+		}
+	}
+
+	start := time.Now()
+	ids := make([]string, 0, jobs+1)
+	for i := 0; i < jobs; i++ {
+		st, err := c.Submit(ctx, spec(i))
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, st.ID)
+	}
+	// The duplicate submission must coalesce, not spawn an (jobs+1)-th search.
+	dup, err := c.Submit(ctx, spec(0))
+	if err != nil {
+		return nil, err
+	}
+	if dup.ID != ids[0] || dup.Submits < 2 {
+		return nil, fmt.Errorf("single-flight violated: duplicate of %s got %s (submits %d)", ids[0], dup.ID, dup.Submits)
+	}
+
+	var latencies []float64
+	for _, id := range ids {
+		st, err := c.WaitDone(ctx, id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != serve.StateDone {
+			return nil, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		latencies = append(latencies, float64(st.DoneUnixMs-st.SubmittedUnixMs))
+	}
+	wall := time.Since(start)
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Float64s(latencies)
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	wallMin := wall.Minutes()
+	wallSec := wall.Seconds()
+	return []benchResult{{
+		Name:   "serve_mixed_jobs",
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Metrics: map[string]float64{
+			"jobs":          float64(jobs),
+			"executors":     float64(executors),
+			"jobs_per_min":  float64(jobs) / wallMin,
+			"evals_per_sec": float64(stats.Pool.Completed) / wallSec,
+			"p50_job_ms":    quantile(0.50),
+			"p95_job_ms":    quantile(0.95),
+		},
+	}}, nil
+}
+
 func writeReport(rep report, path string) error {
 	blob, err := json.MarshalIndent(rep, "", " ")
 	if err != nil {
@@ -243,9 +352,12 @@ func writeReport(rep report, path string) error {
 func main() {
 	out := flag.String("out", "BENCH_islands.json", "search-benchmark output file ('' to skip, '-' for stdout)")
 	coreOut := flag.String("core-out", "BENCH_core.json", "simulator-core output file ('' to skip, '-' for stdout)")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "serve-layer output file ('' to skip, '-' for stdout)")
 	evals := flag.Int("evals", 40, "evaluation count for the throughput benchmarks")
 	pop := flag.Int("pop", 16, "total population for the search benchmarks")
 	gens := flag.Int("gens", 10, "generations for the search benchmarks")
+	serveJobs := flag.Int("serve-jobs", 6, "concurrent mixed jobs for the serve benchmark")
+	serveExecutors := flag.Int("serve-executors", 4, "executor goroutines for the serve benchmark")
 	flag.Parse()
 
 	if *coreOut != "" {
@@ -261,6 +373,28 @@ func main() {
 		}
 		rep.Benchmarks = core
 		if err := writeReport(rep, *coreOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *serveOut != "" {
+		rep := report{
+			Suite:      "gevo-bench-serve",
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			UnixMs:     time.Now().UnixMilli(),
+		}
+		res, err := serveSuite(*serveJobs, *serveExecutors)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = res
+		for _, r := range res {
+			fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %6.1f jobs/min, %7.0f evals/sec, p50 %.0f ms, p95 %.0f ms\n",
+				r.Name, r.Metrics["jobs_per_min"], r.Metrics["evals_per_sec"],
+				r.Metrics["p50_job_ms"], r.Metrics["p95_job_ms"])
+		}
+		if err := writeReport(rep, *serveOut); err != nil {
 			fatal(err)
 		}
 	}

@@ -70,9 +70,9 @@ func parseOverrides(archs string, demes int) (*gpu.Arch, []island.Override, erro
 		if n == "" {
 			continue
 		}
-		a := gpu.ArchByName(n)
-		if a == nil {
-			return nil, nil, fmt.Errorf("unknown arch %q", n)
+		a, err := gpu.ResolveArch(n)
+		if err != nil {
+			return nil, nil, err
 		}
 		parsed = append(parsed, a)
 	}
@@ -96,7 +96,7 @@ func fatal(err error) {
 
 func main() {
 	wl := flag.String("workload", "adept-v0", "workload: "+workload.CLINames)
-	archs := flag.String("archs", "P100", "comma-separated GPU list cycled across demes (P100, 1080Ti, V100)")
+	archs := flag.String("archs", "P100", "comma-separated GPU list cycled across demes ("+strings.Join(gpu.ArchNames(), ", ")+")")
 	demes := flag.Int("demes", 4, "number of islands in the ring")
 	pop := flag.Int("pop", 16, "population size per deme")
 	gens := flag.Int("gens", 40, "generations per deme")

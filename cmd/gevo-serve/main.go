@@ -1,0 +1,91 @@
+// Command gevo-serve runs the search-as-a-service job server: a REST/SSE
+// API over the serve.Manager, which schedules many concurrent optimization
+// searches fair-share over one shared evaluation pool and persists every
+// job's progress so a killed server resumes all in-flight jobs
+// bit-identically on restart.
+//
+// Usage:
+//
+//	gevo-serve -addr 127.0.0.1:8080 -dir ./serve-state
+//
+// Submit and follow jobs with gevo-submit, or curl the API directly
+// (README "Run it as a service").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gevo/internal/gpu"
+	"gevo/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gevo-serve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dir := flag.String("dir", "serve-state", "durable state directory ('' = in-memory only, no crash resume)")
+	workers := flag.Int("workers", 0, "shared evaluation-pool workers (0 = GOMAXPROCS)")
+	executors := flag.Int("executors", 2, "jobs advancing a slice concurrently")
+	cacheSize := flag.Int("cache", 64, "LRU result-cache capacity")
+	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	flag.Parse()
+
+	if b, err := gpu.ParseBackend(*backend); err != nil {
+		fatal(err)
+	} else {
+		gpu.DefaultBackend = b
+	}
+
+	m, err := serve.Open(serve.Options{
+		Dir: *dir, Workers: *workers, Executors: *executors, CacheSize: *cacheSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: serve.NewServer(m)}
+	fmt.Fprintf(os.Stderr, "gevo-serve: listening on http://%s (state: %s)\n", ln.Addr(), stateDesc(*dir))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "gevo-serve: %v, shutting down\n", s)
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+	// Graceful drain is a courtesy: durability never depends on it — every
+	// slice already checkpointed before its progress became visible.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	m.Close()
+}
+
+func stateDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

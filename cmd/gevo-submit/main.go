@@ -1,0 +1,140 @@
+// Command gevo-submit is the CLI client for gevo-serve: it submits search
+// jobs, follows their progress over SSE, and queries or cancels existing
+// jobs.
+//
+// Usage:
+//
+//	gevo-submit -server http://127.0.0.1:8080 -workload adept-v0 \
+//	    -demes 2 -pop 8 -gens 12 -seed 1 -wait
+//	gevo-submit -list
+//	gevo-submit -status j0123456789abcdef
+//	gevo-submit -result j0123456789abcdef
+//	gevo-submit -cancel j0123456789abcdef
+//
+// Submitting the same spec twice attaches to the same job (single-flight);
+// a spec the server has already finished answers instantly from its result
+// cache.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gevo/internal/gpu"
+	"gevo/internal/serve"
+	"gevo/internal/serve/client"
+	"gevo/internal/workload"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gevo-submit:", err)
+	os.Exit(1)
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "gevo-serve base URL")
+	wl := flag.String("workload", "adept-v0", "workload: "+workload.CLINames)
+	archs := flag.String("archs", "P100", "comma-separated GPU list cycled across demes ("+strings.Join(gpu.ArchNames(), ", ")+")")
+	demes := flag.Int("demes", 2, "islands in the ring")
+	pop := flag.Int("pop", 8, "population size per deme")
+	gens := flag.Int("gens", 12, "generations per deme")
+	interval := flag.Int("interval", 4, "generations between migrations")
+	k := flag.Int("k", 1, "elites migrated per migration")
+	seed := flag.Uint64("seed", 1, "master seed")
+	mut := flag.Float64("mut", 0.5, "mutation rate")
+	cross := flag.Float64("cross", 0.8, "crossover rate")
+	wait := flag.Bool("wait", false, "stream progress and block until the job ends")
+	list := flag.Bool("list", false, "list jobs instead of submitting")
+	status := flag.String("status", "", "show one job's status instead of submitting")
+	result := flag.String("result", "", "fetch one job's result instead of submitting")
+	cancel := flag.String("cancel", "", "cancel one job instead of submitting")
+	stats := flag.Bool("stats", false, "show server stats instead of submitting")
+	flag.Parse()
+
+	c := client.New(*server)
+	ctx := context.Background()
+
+	switch {
+	case *list:
+		jobs, err := c.List(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		emit(jobs)
+	case *status != "":
+		st, err := c.Get(ctx, *status)
+		if err != nil {
+			fatal(err)
+		}
+		emit(st)
+	case *result != "":
+		res, err := c.Result(ctx, *result)
+		if err != nil {
+			fatal(err)
+		}
+		emit(res)
+	case *cancel != "":
+		st, err := c.Cancel(ctx, *cancel)
+		if err != nil {
+			fatal(err)
+		}
+		emit(st)
+	case *stats:
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		emit(st)
+	default:
+		spec := serve.JobSpec{
+			Workload:          *wl,
+			Archs:             strings.Split(*archs, ","),
+			Demes:             *demes,
+			Pop:               *pop,
+			Generations:       *gens,
+			MigrationInterval: *interval,
+			MigrationSize:     *k,
+			Seed:              *seed,
+			MutationRate:      mut,
+			CrossoverRate:     cross,
+		}
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			fatal(err)
+		}
+		if !*wait || st.State.Terminal() {
+			emit(st)
+			if st.State == serve.StateFailed {
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "gevo-submit: job %s %s (submission #%d)\n", st.ID, st.State, st.Submits)
+		final, err := c.WaitDone(ctx, st.ID, func(ev serve.Event) {
+			if ev.Type != "progress" {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "gevo-submit: gen %3d/%d best %.3fx (deme %d, %d evals)\n",
+				ev.Job.Gen, ev.Job.Spec.Generations, ev.Job.BestSpeedup, ev.Job.BestDeme, ev.Job.Evaluations)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(final)
+		if final.State == serve.StateFailed {
+			os.Exit(1)
+		}
+	}
+}

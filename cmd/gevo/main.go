@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"gevo/internal/core"
@@ -42,7 +43,7 @@ type jsonResult struct {
 
 func main() {
 	wl := flag.String("workload", "adept-v1", "workload: "+workload.CLINames)
-	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
+	archName := flag.String("arch", "P100", "GPU: "+strings.Join(gpu.ArchNames(), ", "))
 	pop := flag.Int("pop", 32, "population size (paper: 256)")
 	gens := flag.Int("gens", 40, "generations (paper: 300 ADEPT / 130 SIMCoV)")
 	seed := flag.Uint64("seed", 1, "search seed")
@@ -60,9 +61,9 @@ func main() {
 	} else {
 		gpu.DefaultBackend = b
 	}
-	arch := gpu.ArchByName(*archName)
-	if arch == nil {
-		fmt.Fprintf(os.Stderr, "gevo: unknown arch %q\n", *archName)
+	arch, err := gpu.ResolveArch(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gevo:", err)
 		os.Exit(2)
 	}
 	w, err := workload.ByName(*wl)

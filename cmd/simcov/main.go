@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gevo/internal/gpu"
 	"gevo/internal/simcov"
@@ -20,23 +21,26 @@ func main() {
 	w := flag.Int("w", 32, "grid width (warp multiple recommended)")
 	h := flag.Int("h", 24, "grid height")
 	steps := flag.Int("steps", 40, "simulation steps")
-	archName := flag.String("arch", "P100", "GPU: P100, 1080Ti, V100")
+	archName := flag.String("arch", "P100", "GPU: "+strings.Join(gpu.ArchNames(), ", "))
 	seed := flag.Uint64("seed", 3, "simulation seed")
 	padded := flag.Bool("padded", false, "use the zero-padded kernel layout (Fig 10c)")
 	flag.Parse()
 
-	arch := gpu.ArchByName(*archName)
-	if arch == nil {
-		fmt.Fprintf(os.Stderr, "simcov: unknown arch %q\n", *archName)
+	arch, err := gpu.ResolveArch(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simcov:", err)
 		os.Exit(2)
 	}
-	s, err := workload.NewSIMCoV(workload.SIMCoVOptions{
+	// The workload comes from the shared registry — the same name cmd/gevo
+	// and the serve API accept — with this tool's grid shape layered on.
+	wl, err := workload.ByNameWith("simcov", workload.Options{SIMCoV: &workload.SIMCoVOptions{
 		Seed: *seed, W: *w, H: *h, Steps: *steps, Padded: *padded,
-	})
+	}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simcov:", err)
 		os.Exit(1)
 	}
+	s := wl.(*workload.SIMCoV)
 	ms, stats, err := s.RunStats(s.Base(), arch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simcov:", err)

@@ -28,6 +28,7 @@ import (
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
+	"gevo/internal/serve"
 	"gevo/internal/workload"
 )
 
@@ -163,6 +164,47 @@ var LoadCheckpoint = island.Load
 
 // RestoreEngine rebuilds a single engine from a checkpointed EngineState.
 var RestoreEngine = core.RestoreEngine
+
+// Search-as-a-service re-exports (internal/serve, DESIGN.md §6): a
+// JobManager runs many concurrent searches in one process with
+// content-addressed dedup, an LRU result cache, fair-share scheduling over
+// one shared EvalPool, and crash-safe resume from the job ledger plus
+// island checkpoints. cmd/gevo-serve wraps it in the REST/SSE API;
+// cmd/gevo-submit and internal/serve/client talk to that.
+type (
+	// JobSpec describes one search job; it is content-addressed.
+	JobSpec = serve.JobSpec
+	// JobStatus is a job's externally visible snapshot.
+	JobStatus = serve.JobStatus
+	// JobResult is a finished job's artifact.
+	JobResult = serve.JobResult
+	// JobManager orchestrates the jobs.
+	JobManager = serve.Manager
+	// JobManagerOptions configures OpenJobManager.
+	JobManagerOptions = serve.Options
+	// JobState is a job's lifecycle position.
+	JobState = serve.State
+	// JobEvent is one progress notification.
+	JobEvent = serve.Event
+	// PoolStats samples an EvalPool's load gauges.
+	PoolStats = core.PoolStats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = serve.StateQueued
+	JobRunning   = serve.StateRunning
+	JobDone      = serve.StateDone
+	JobFailed    = serve.StateFailed
+	JobCancelled = serve.StateCancelled
+)
+
+// OpenJobManager creates (or, given a durable state directory, reopens and
+// resumes) a job manager.
+var OpenJobManager = serve.Open
+
+// NewJobServer wraps a manager in the REST/SSE http.Handler.
+var NewJobServer = serve.NewServer
 
 // Analysis re-exports (paper Section V).
 type (

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"gevo/internal/gpu"
 	"gevo/internal/workload"
@@ -27,6 +28,14 @@ import (
 type EvalPool struct {
 	sem    chan struct{}
 	shards [fitnessShards]poolShard
+
+	// Instrumentation gauges/counters, read via Stats. They never influence
+	// scheduling or results; an orchestrator (internal/serve) samples them
+	// for load reporting.
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	hits      atomic.Int64
 
 	// ids assigns each workload *instance* a distinct cache namespace.
 	// Workload names identify content shape, not datasets: two ADEPT
@@ -73,6 +82,35 @@ func (p *EvalPool) workloadID(w workload.Workload) string {
 // Workers returns the pool's concurrency bound.
 func (p *EvalPool) Workers() int { return cap(p.sem) }
 
+// PoolStats is a point-in-time sample of an EvalPool's load.
+type PoolStats struct {
+	// Workers is the pool's concurrency bound.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of evaluations waiting for a worker slot.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is the number of simulations running right now.
+	InFlight int `json:"in_flight"`
+	// Completed counts simulations finished since the pool was created
+	// (cache misses only — each distinct key simulates once).
+	Completed int64 `json:"completed"`
+	// CacheHits counts evaluations served from the single-flight cache,
+	// including waits on an in-flight entry.
+	CacheHits int64 `json:"cache_hits"`
+}
+
+// Stats samples the pool's gauges. The fields are read independently, so a
+// sample taken under load is approximate — fine for dashboards, not a
+// barrier.
+func (p *EvalPool) Stats() PoolStats {
+	return PoolStats{
+		Workers:    cap(p.sem),
+		QueueDepth: int(p.queued.Load()),
+		InFlight:   int(p.inFlight.Load()),
+		Completed:  p.completed.Load(),
+		CacheHits:  p.hits.Load(),
+	}
+}
+
 // evaluate returns the fitness for the key, computing it via fn at most
 // once across every engine sharing the pool. Concurrent requesters of an
 // in-flight key block on the first; the worker budget bounds how many fn
@@ -82,6 +120,7 @@ func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
 	sh.mu.Lock()
 	if ent, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
+		p.hits.Add(1)
 		<-ent.done
 		return ent.ms
 	}
@@ -89,8 +128,13 @@ func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
 	sh.m[key] = ent
 	sh.mu.Unlock()
 
+	p.queued.Add(1)
 	p.sem <- struct{}{}
+	p.queued.Add(-1)
+	p.inFlight.Add(1)
 	ent.ms = fn()
+	p.inFlight.Add(-1)
+	p.completed.Add(1)
 	<-p.sem
 	close(ent.done)
 	return ent.ms

@@ -20,7 +20,10 @@
 //     behaviour of Figure 10.
 package gpu
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Arch describes one GPU architecture: the Table I characteristics plus the
 // cost-model parameters (in core clock cycles) used by the timing model.
@@ -165,7 +168,9 @@ var (
 // Architectures lists the evaluation GPUs in the order of Table I.
 var Architectures = []*Arch{P100, GTX1080Ti, V100}
 
-// ArchByName returns the named architecture, or nil.
+// ArchByName returns the named architecture, or nil. Callers at a trust
+// boundary (CLIs, the serve API) should prefer ResolveArch, whose error
+// names the known architectures.
 func ArchByName(name string) *Arch {
 	for _, a := range Architectures {
 		if a.Name == name {
@@ -173,4 +178,22 @@ func ArchByName(name string) *Arch {
 		}
 	}
 	return nil
+}
+
+// ArchNames lists the known architecture names in Table I order.
+func ArchNames() []string {
+	names := make([]string, len(Architectures))
+	for i, a := range Architectures {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// ResolveArch returns the named architecture, or a descriptive error
+// listing the known names — the fail-fast lookup for user-supplied input.
+func ResolveArch(name string) (*Arch, error) {
+	if a := ArchByName(name); a != nil {
+		return a, nil
+	}
+	return nil, fmt.Errorf("unknown arch %q (known: %s)", name, strings.Join(ArchNames(), ", "))
 }

@@ -144,6 +144,15 @@ func (s *Search) Snapshot() (*Checkpoint, error) {
 // name, same options) for the resumed search to be meaningful; the name is
 // verified, the options are the caller's responsibility.
 func Restore(w workload.Workload, cp *Checkpoint) (*Search, error) {
+	return RestoreWithPool(w, cp, nil)
+}
+
+// RestoreWithPool is Restore with the demes attached to a caller-supplied
+// evaluation pool (nil gives the ring a private pool sized by the
+// checkpoint's Workers) — the resume path of an orchestrator whose searches
+// all share one machine-wide pool. The pool never affects results, only
+// scheduling and cross-search deduplication.
+func RestoreWithPool(w workload.Workload, cp *Checkpoint, pool *core.EvalPool) (*Search, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("island: nil checkpoint")
 	}
@@ -157,13 +166,16 @@ func Restore(w workload.Workload, cp *Checkpoint) (*Search, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Pool = pool
 	cfg.fill()
 	if len(cp.Demes) != cfg.Demes {
 		return nil, fmt.Errorf("island: checkpoint has %d demes, config %d", len(cp.Demes), cfg.Demes)
 	}
 	s := &Search{cfg: cfg, w: w, demes: make([]*core.Engine, cfg.Demes), gen: cp.Gen, migrations: cp.Migrations}
 	seeds := demeSeeds(cfg.Seed, cfg.Demes)
-	pool := core.NewEvalPool(cfg.Workers)
+	if pool == nil {
+		pool = core.NewEvalPool(cfg.Workers)
+	}
 	for i, st := range cp.Demes {
 		d, err := core.RestoreEngine(w, cfg.demeConfig(i, seeds[i], pool), st)
 		if err != nil {
@@ -183,6 +195,9 @@ func (cp *Checkpoint) Save(path string) error {
 		return fmt.Errorf("island: marshal checkpoint: %w", err)
 	}
 	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*.json")
 	if err != nil {
 		return err

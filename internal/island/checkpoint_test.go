@@ -1,0 +1,178 @@
+package island
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkpointFixture builds a small real search, runs one round, and
+// returns its serialized checkpoint.
+func checkpointFixture(t *testing.T) []byte {
+	t.Helper()
+	cfg := ringConfig(2)
+	cfg.Demes = 2
+	cfg.Generations = 2
+	s, err := New(smallADEPT(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepRound()
+	cp, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestCheckpointFailurePaths pins the error behaviour of the durable
+// formats: every corruption an operator can plausibly produce — version
+// drift, truncated or mangled files, a seed edit that desynchronizes the
+// deme RNG streams — must surface as a descriptive error, never a panic
+// and never a silently wrong resume.
+func TestCheckpointFailurePaths(t *testing.T) {
+	blob := checkpointFixture(t)
+	dir := t.TempDir()
+
+	load := func(t *testing.T, contents []byte) error {
+		t.Helper()
+		path := filepath.Join(dir, "cp.json")
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(path)
+		return err
+	}
+
+	// Baseline: the unmodified fixture loads and restores.
+	if err := load(t, blob); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	loadCases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{
+			"checkpoint version mismatch",
+			func(b []byte) []byte {
+				return rewriteJSON(t, b, func(m map[string]any) { m["version"] = 99.0 })
+			},
+			"version 99, want 1",
+		},
+		{
+			"truncated file",
+			func(b []byte) []byte { return b[:len(b)/2] },
+			"parse checkpoint",
+		},
+		{
+			"corrupt JSON",
+			func(b []byte) []byte { return []byte(strings.Replace(string(b), `"gen"`, `"gen!`, 1)) },
+			"parse checkpoint",
+		},
+		{
+			"empty file",
+			func([]byte) []byte { return nil },
+			"parse checkpoint",
+		},
+		{
+			"non-finite fitness mangled",
+			func(b []byte) []byte {
+				return []byte(strings.Replace(string(b), `"fitness":`, `"fitness":"garbage",
+"x":`, 1))
+			},
+			"",
+		},
+	}
+	for _, tc := range loadCases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := load(t, tc.mutate(append([]byte(nil), blob...)))
+			if err == nil {
+				t.Fatal("corrupted checkpoint accepted")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q lacks %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	restoreCases := []struct {
+		name    string
+		mutate  func(map[string]any)
+		wantSub string
+	}{
+		{
+			"master seed mismatch desynchronizes deme streams",
+			func(m map[string]any) { m["config"].(map[string]any)["seed"] = 777.0 },
+			"does not match snapshot seed",
+		},
+		{
+			"engine state version mismatch",
+			func(m map[string]any) {
+				demes := m["demes"].([]any)
+				demes[0].(map[string]any)["version"] = 41.0
+			},
+			"engine state version 41, want 1",
+		},
+		{
+			"unknown base arch",
+			func(m map[string]any) { m["config"].(map[string]any)["arch"] = "H100" },
+			"unknown arch",
+		},
+		{
+			"deme count mismatch",
+			func(m map[string]any) {
+				demes := m["demes"].([]any)
+				m["demes"] = demes[:1]
+			},
+			"checkpoint has 1 demes, config 2",
+		},
+		{
+			"workload mismatch",
+			func(m map[string]any) { m["workload"] = "SIMCoV" },
+			`checkpoint is for workload "SIMCoV"`,
+		},
+	}
+	for _, tc := range restoreCases {
+		t.Run(tc.name, func(t *testing.T) {
+			mangled := rewriteJSON(t, blob, tc.mutate)
+			path := filepath.Join(dir, "cp.json")
+			if err := os.WriteFile(path, mangled, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cp, err := Load(path)
+			if err != nil {
+				t.Fatalf("Load rejected a structurally valid checkpoint: %v", err)
+			}
+			_, err = Restore(smallADEPT(t), cp)
+			if err == nil {
+				t.Fatal("corrupted checkpoint restored")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q lacks %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// rewriteJSON decodes, mutates and re-encodes a JSON document.
+func rewriteJSON(t *testing.T, blob []byte, mutate func(map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

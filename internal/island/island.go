@@ -66,6 +66,12 @@ type Config struct {
 	// demes still evaluating, and heterogeneous rings no longer
 	// oversubscribe GOMAXPROCS with per-deme worker shares.
 	Workers int
+	// Pool, when non-nil, is the evaluation pool every deme submits to
+	// instead of a ring-private one — the lever that lets an orchestrator
+	// (internal/serve) run many island searches against one machine-wide
+	// worker budget with cross-search single-flight. Workers is ignored
+	// when Pool is set; the pool's own budget governs.
+	Pool *core.EvalPool `json:"-"`
 }
 
 // fill normalizes the configuration, mirroring core.Config.fill.
@@ -178,8 +184,12 @@ func New(w workload.Workload, cfg Config) (*Search, error) {
 	seeds := demeSeeds(cfg.Seed, cfg.Demes)
 	// One shared pool for the whole ring: a single worker budget plus
 	// cross-deme single-flight, so a genome bred by several demes in the
-	// same generation simulates once per architecture.
-	pool := core.NewEvalPool(cfg.Workers)
+	// same generation simulates once per architecture. A caller-supplied
+	// pool extends the same sharing across searches.
+	pool := cfg.Pool
+	if pool == nil {
+		pool = core.NewEvalPool(cfg.Workers)
+	}
 	for i := range s.demes {
 		s.demes[i] = core.NewEngine(w, cfg.demeConfig(i, seeds[i], pool))
 	}
@@ -257,6 +267,41 @@ func (s *Search) migrate() {
 	}
 	s.each(func(i int, d *core.Engine) { d.Inject(emigrants[(i-1+n)%n]) })
 	s.migrations++
+}
+
+// Progress is a cheap point-in-time summary of a running search — the
+// step-slice observability an orchestrator needs between rounds without
+// building a full Result.
+type Progress struct {
+	// Gen is the per-deme generations completed; Generations the budget.
+	Gen, Generations int
+	// Migrations counts migration events performed.
+	Migrations int
+	// Evaluations totals distinct-genome evaluations across demes.
+	Evaluations int
+	// BestSpeedup is the ring-wide best speedup so far (per-deme speedup on
+	// the deme's own architecture); BestDeme its ring position (-1 before
+	// any valid individual).
+	BestSpeedup float64
+	BestDeme    int
+}
+
+// Progress summarizes the search position. Call it between rounds (the
+// engines' histories are only consistent at round barriers).
+func (s *Search) Progress() Progress {
+	p := Progress{Gen: s.gen, Generations: s.cfg.Generations, Migrations: s.migrations, BestDeme: -1}
+	for i, d := range s.demes {
+		p.Evaluations += d.Evaluations()
+		best := d.History().BestEver()
+		if !best.Valid() {
+			continue
+		}
+		if sp := d.BaseFitness() / best.Fitness; sp > p.BestSpeedup {
+			p.BestSpeedup = sp
+			p.BestDeme = i
+		}
+	}
+	return p
 }
 
 // Run drives rounds to the generation budget and returns the result.

@@ -1,0 +1,56 @@
+package serve
+
+import "container/list"
+
+// resultCache is a plain LRU over spec key → finished result. The manager
+// consults it on submission: a spec whose result is cached is answered
+// without running a search, and without even keeping the original job
+// record alive — the cache is what makes resubmission cheap after the job
+// history has been pruned. Not safe for concurrent use; the manager's
+// mutex guards it.
+type resultCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *JobResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &resultCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and marks it most recently used.
+func (c *resultCache) get(key string) (*JobResult, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes a result, evicting the least recently used
+// entry beyond capacity.
+func (c *resultCache) put(key string, res *JobResult) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int { return c.order.Len() }

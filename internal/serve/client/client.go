@@ -1,0 +1,200 @@
+// Package client is the typed API for a gevo-serve instance — the thin
+// HTTP/SSE wrapper used by cmd/gevo-submit and the serve benchmarks. It
+// deliberately mirrors the serve.Manager surface one to one.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gevo/internal/serve"
+)
+
+// Client talks to one gevo-serve base URL.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (nil = http.DefaultClient). Watch overrides any
+	// client timeout for its streaming request via the context instead.
+	HTTP *http.Client
+}
+
+// New returns a client for the base URL.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out, mapping
+// non-2xx responses to errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, apiErr.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(blob, out)
+}
+
+// Submit submits a job spec, returning the (possibly deduplicated or
+// cache-answered) job status.
+func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
+	return st, err
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job.
+func (c *Client) List(ctx context.Context) ([]serve.JobStatus, error) {
+	var out []serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests a job stop.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a finished job's artifact.
+func (c *Client) Result(ctx context.Context, id string) (*serve.JobResult, error) {
+	var res serve.JobResult
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats samples the server.
+func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
+	var st serve.Stats
+	err := c.do(ctx, http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Watch streams a job's events, calling fn for each until the job reaches
+// a terminal state, the context ends, or the stream breaks. It returns the
+// last observed status. The server replays the current status first, so
+// Watch is safe to call at any point in the job's life.
+func (c *Client) Watch(ctx context.Context, id string, fn func(serve.Event)) (serve.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	// Streams outlive any client-level timeout: use a transport-only client.
+	hc := &http.Client{Transport: c.http().Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		return serve.JobStatus{}, fmt.Errorf("watch %s: HTTP %d: %s", id, resp.StatusCode, bytes.TrimSpace(blob))
+	}
+	var last serve.JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		last = ev.Job
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Job.State.Terminal() {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, nil
+}
+
+// WaitDone blocks until the job is terminal, preferring the SSE stream and
+// falling back to polling if the stream drops (e.g. a lagging subscriber
+// disconnected by the server, or a server restart mid-job).
+func (c *Client) WaitDone(ctx context.Context, id string, fn func(serve.Event)) (serve.JobStatus, error) {
+	for {
+		st, err := c.Watch(ctx, id, fn)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		// Stream broke: re-sync by polling, then re-watch if still running.
+		st, gerr := c.Get(ctx, id)
+		if gerr == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if gerr != nil && err != nil {
+			return st, fmt.Errorf("watch: %v; poll: %v", err, gerr)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import "sync"
+
+// hub fans progress events out to subscribers (the SSE handlers). Delivery
+// is best-effort with a bounded buffer: a subscriber that falls behind is
+// closed rather than allowed to stall the scheduler — SSE clients are
+// expected to re-subscribe and re-sync from the status endpoint, which the
+// server handler does for them by replaying the current status on
+// subscribe.
+type hub struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+// subscriber receives events for one job (or all jobs when job is empty).
+type subscriber struct {
+	job string
+	ch  chan Event
+}
+
+const subscriberBuffer = 256
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers interest in a job's events ("" = every job). The
+// returned channel is closed when the subscriber lags hopelessly or the
+// hub shuts down; cancel unregisters (idempotent, safe after close).
+func (h *hub) subscribe(job string) (sub *subscriber, cancel func()) {
+	s := &subscriber{job: job, ch: make(chan Event, subscriberBuffer)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[s]; ok {
+			delete(h.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// publish delivers the event to every matching subscriber, disconnecting
+// any whose buffer is full.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if s.job != "" && s.job != ev.Job.ID {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			delete(h.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// close disconnects every subscriber.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"gevo/internal/island"
+)
+
+// State is a job's lifecycle position. The machine is
+//
+//	queued → running → done
+//	                 ↘ failed
+//	queued|running → cancelled
+//
+// with one loop: a failed or cancelled job whose spec is resubmitted
+// returns to queued. After a crash, jobs found queued or running in the
+// ledger re-enter queued and resume from their latest checkpoint.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobResult is the artifact of a finished search — deliberately free of
+// timing and process details so that two runs of the same spec produce
+// byte-identical documents (the crash-resume golden check diffs these
+// directly). Evaluation counts are excluded for the same reason: a resumed
+// search legitimately recounts genomes its cold cache re-requests (see
+// core.EngineState), so they live on JobStatus instead.
+type JobResult struct {
+	Workload    string   `json:"workload"`
+	Demes       int      `json:"demes"`
+	Pop         int      `json:"pop"`
+	Generations int      `json:"generations"`
+	Seed        uint64   `json:"seed"`
+	BestDeme    int      `json:"best_deme"`
+	BestArch    string   `json:"best_arch"`
+	BaseMs      float64  `json:"base_ms"`
+	BestMs      float64  `json:"best_ms"`
+	Speedup     float64  `json:"speedup"`
+	Migrations  int      `json:"migrations"`
+	GenomeEdits int      `json:"genome_edits"`
+	Genome      []string `json:"genome,omitempty"`
+	Validated   bool     `json:"validated"`
+}
+
+// JobStatus is the externally visible snapshot of a job, served by the
+// status and list endpoints and carried in progress events.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	Key   string  `json:"key"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	// Gen is per-deme generations completed out of Spec.Generations.
+	Gen int `json:"gen"`
+	// BestSpeedup and BestDeme summarize the ring-wide best so far.
+	BestSpeedup float64 `json:"best_speedup,omitempty"`
+	BestDeme    int     `json:"best_deme,omitempty"`
+	Migrations  int     `json:"migrations,omitempty"`
+	Evaluations int     `json:"evaluations,omitempty"`
+	// Submits counts submissions coalesced into this job (single-flight
+	// dedup): 1 for the first caller, +1 for every identical spec.
+	Submits int `json:"submits"`
+	// Cached marks a job satisfied from the result cache without running.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	SubmittedUnixMs int64 `json:"submitted_unix_ms"`
+	StartedUnixMs   int64 `json:"started_unix_ms,omitempty"`
+	DoneUnixMs      int64 `json:"done_unix_ms,omitempty"`
+
+	// Result is attached once State is done.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// job is the manager's internal record. All mutable fields are guarded by
+// the manager's mutex; search is additionally touched only by the executor
+// that has the job claimed, so slices run without holding the lock.
+type job struct {
+	id   string
+	key  string
+	spec JobSpec
+
+	state       State
+	gen         int
+	bestSpeedup float64
+	bestDeme    int
+	migrations  int
+	evaluations int
+	submits     int
+	cached      bool
+	errMsg      string
+
+	submittedMs int64
+	startedMs   int64
+	doneMs      int64
+
+	// claimed marks an executor holding the job for a slice; cancelWanted
+	// asks whoever holds it (or the scheduler) to finalize as cancelled.
+	claimed      bool
+	cancelWanted bool
+
+	// search is the live island search, built lazily on first claim (from
+	// scratch or from the job's checkpoint).
+	search *island.Search
+	// lastEventGen tracks the newest generation already published to
+	// subscribers, so each progress event carries exactly the new points.
+	lastEventGen int
+
+	result *JobResult
+}
+
+// status snapshots the job under the manager lock.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:              j.id,
+		Key:             j.key,
+		Spec:            j.spec,
+		State:           j.state,
+		Gen:             j.gen,
+		BestSpeedup:     j.bestSpeedup,
+		BestDeme:        j.bestDeme,
+		Migrations:      j.migrations,
+		Evaluations:     j.evaluations,
+		Submits:         j.submits,
+		Cached:          j.cached,
+		Error:           j.errMsg,
+		SubmittedUnixMs: j.submittedMs,
+		StartedUnixMs:   j.startedMs,
+		DoneUnixMs:      j.doneMs,
+		Result:          j.result,
+	}
+	return st
+}
+
+// GenPoint is one generation of ring-wide progress: the best fitness and
+// speedup over all demes at that generation.
+type GenPoint struct {
+	Gen     int     `json:"gen"`
+	BestMs  float64 `json:"best_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Event is one progress notification. Type is "progress" while the search
+// advances and the terminal state name ("done", "failed", "cancelled") when
+// it ends; Gens carries the per-generation points new since the previous
+// event for this job.
+type Event struct {
+	Type string     `json:"type"`
+	Job  JobStatus  `json:"job"`
+	Gens []GenPoint `json:"gens,omitempty"`
+}

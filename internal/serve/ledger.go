@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// LedgerVersion is the on-disk job-ledger format version. Bump on any
+// incompatible change; Open rejects mismatches instead of guessing.
+const LedgerVersion = 1
+
+// ledgerJob is one job's durable record: the spec (enough to rebuild the
+// search from scratch), the lifecycle position, and bookkeeping. The
+// search state itself lives next door in the island checkpoint file — the
+// ledger answers "which jobs exist and where do they stand", the
+// checkpoint answers "resume bit-identically from here".
+type ledgerJob struct {
+	ID              string  `json:"id"`
+	Key             string  `json:"key"`
+	Spec            JobSpec `json:"spec"`
+	State           State   `json:"state"`
+	Gen             int     `json:"gen"`
+	Submits         int     `json:"submits"`
+	Cached          bool    `json:"cached,omitempty"`
+	Error           string  `json:"error,omitempty"`
+	SubmittedUnixMs int64   `json:"submitted_unix_ms"`
+	StartedUnixMs   int64   `json:"started_unix_ms,omitempty"`
+	DoneUnixMs      int64   `json:"done_unix_ms,omitempty"`
+}
+
+// ledgerDoc is the ledger file layout.
+type ledgerDoc struct {
+	Version int         `json:"version"`
+	Jobs    []ledgerJob `json:"jobs"`
+}
+
+func ledgerPath(dir string) string { return filepath.Join(dir, "ledger.json") }
+
+// jobDir returns (and lazily creates) a job's state directory.
+func jobDir(dir, id string) string { return filepath.Join(dir, "jobs", id) }
+
+func checkpointPath(dir, id string) string { return filepath.Join(jobDir(dir, id), "checkpoint.json") }
+func resultPath(dir, id string) string     { return filepath.Join(jobDir(dir, id), "result.json") }
+
+// writeFileAtomic writes blob to path via a synced temp file renamed into
+// place, so a crash mid-write never leaves a truncated document where a
+// good one was.
+func writeFileAtomic(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// saveLedger persists the manager's job table. Called with the manager
+// lock held; the write is atomic, so a kill at any instant leaves either
+// the previous or the new ledger.
+func saveLedger(dir string, jobs []ledgerJob) error {
+	blob, err := json.MarshalIndent(ledgerDoc{Version: LedgerVersion, Jobs: jobs}, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal ledger: %w", err)
+	}
+	return writeFileAtomic(ledgerPath(dir), blob)
+}
+
+// loadLedger reads the ledger, mapping a missing file to an empty ledger
+// (a fresh state directory).
+func loadLedger(dir string) ([]ledgerJob, error) {
+	blob, err := os.ReadFile(ledgerPath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc ledgerDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, fmt.Errorf("serve: parse ledger %s: %w", ledgerPath(dir), err)
+	}
+	if doc.Version != LedgerVersion {
+		return nil, fmt.Errorf("serve: ledger %s version %d, want %d", ledgerPath(dir), doc.Version, LedgerVersion)
+	}
+	return doc.Jobs, nil
+}
+
+// saveResult persists a finished job's artifact.
+func saveResult(dir, id string, res *JobResult) error {
+	blob, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal result: %w", err)
+	}
+	blob = append(blob, '\n')
+	return writeFileAtomic(resultPath(dir, id), blob)
+}
+
+// loadResult reads a finished job's artifact back after a restart.
+func loadResult(dir, id string) (*JobResult, error) {
+	blob, err := os.ReadFile(resultPath(dir, id))
+	if err != nil {
+		return nil, err
+	}
+	var res JobResult
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return nil, fmt.Errorf("serve: parse result %s: %w", resultPath(dir, id), err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,726 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/island"
+	"gevo/internal/workload"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the durable state directory (ledger, per-job checkpoints and
+	// results). Empty runs the manager in memory only — jobs do not survive
+	// a restart.
+	Dir string
+	// Workers bounds concurrent fitness evaluations across every job
+	// (0 = GOMAXPROCS). All jobs share one core.EvalPool, so two jobs that
+	// request the same (workload, arch, genome) evaluation — or the same
+	// job resubmitted — simulate it once.
+	Workers int
+	// Executors is the number of scheduler goroutines, i.e. how many jobs
+	// advance a slice concurrently (default 2). Parallelism inside a slice
+	// comes from the pool; executors only control inter-job overlap.
+	Executors int
+	// CacheSize caps the LRU result cache and the retained terminal job
+	// records (default 64).
+	CacheSize int
+	// SkipValidation skips the held-out validation of finished jobs
+	// (benchmarks flip this; the service default matches the CLIs).
+	SkipValidation bool
+	// Workloads overrides how job workload names become instances
+	// (nil = workload.ByName, the standard registry). Embedders use it to
+	// serve custom datasets; tests use it to serve small ones. Names must
+	// still come from workload.Names — the spec validator checks against
+	// the registry either way.
+	Workloads func(name string) (workload.Workload, error)
+}
+
+func (o *Options) fill() {
+	if o.Executors <= 0 {
+		o.Executors = 2
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 64
+	}
+}
+
+// Manager orchestrates many concurrent optimization searches in one
+// process. Jobs are content-addressed (identical specs coalesce into one
+// search, finished specs answer from an LRU cache), scheduled fair-share —
+// each executor claims the next runnable job round-robin and advances it
+// by exactly one migration round before requeueing it — and durable: after
+// every slice the island checkpoint is written atomically (and a done
+// job's result before its state flips), with the job ledger following
+// asynchronously via the persister, so a kill -9 at any instant loses at
+// most the in-flight slice, which the restarted manager re-runs to a
+// bit-identical result.
+type Manager struct {
+	opts Options
+	pool *core.EvalPool
+	hub  *hub
+
+	// workloads shares one instance per registered name across jobs, so
+	// the pool's per-instance cache namespace deduplicates evaluations
+	// across every job on that workload.
+	wlMu      sync.Mutex
+	workloads map[string]workload.Workload
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order; the round-robin ring
+	cursor int
+	cache  *resultCache
+	closed bool
+	// pendingRemove queues pruned jobs' state directories for deletion by
+	// the persister (disk work never happens under mu).
+	pendingRemove []string
+
+	wake  chan struct{}
+	stopc chan struct{}
+	wg    sync.WaitGroup
+
+	// The persister goroutine owns all ledger writes: mutations mark dirty
+	// (coalescing bursts) and the persister snapshots the job table under
+	// mu but marshals, fsyncs and prunes directories outside it, so the
+	// scheduler never blocks on disk latency. Ordering is trivial — one
+	// writer, each write a fresh snapshot.
+	dirty         chan struct{}
+	persistStop   chan struct{}
+	persisterDone chan struct{}
+}
+
+// Open creates a manager and starts its executors. With a state directory,
+// the ledger is loaded first and every job found queued or running is
+// requeued to resume from its latest checkpoint.
+func Open(opts Options) (*Manager, error) {
+	opts.fill()
+	m := &Manager{
+		opts:      opts,
+		pool:      core.NewEvalPool(opts.Workers),
+		hub:       newHub(),
+		workloads: make(map[string]workload.Workload),
+		jobs:      make(map[string]*job),
+		cache:     newResultCache(opts.CacheSize),
+		wake:      make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+		m.dirty = make(chan struct{}, 1)
+		m.persistStop = make(chan struct{})
+		m.persisterDone = make(chan struct{})
+		go m.persister()
+	}
+	m.wg.Add(opts.Executors)
+	for i := 0; i < opts.Executors; i++ {
+		go m.executor()
+	}
+	m.wakeup()
+	return m, nil
+}
+
+// recover rebuilds the job table from the ledger. Jobs interrupted by the
+// crash (queued or running) return to queued; their searches restore from
+// checkpoints when next claimed. Finished jobs reload their results into
+// the LRU cache; a done job whose result file is unreadable is requeued
+// and recomputed (deterministic, so the replacement is identical).
+func (m *Manager) recover() error {
+	jobs, err := loadLedger(m.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, lj := range jobs {
+		j := &job{
+			id: lj.ID, key: lj.Key, spec: lj.Spec,
+			state: lj.State, gen: lj.Gen, bestDeme: -1,
+			submits: lj.Submits, cached: lj.Cached, errMsg: lj.Error,
+			submittedMs: lj.SubmittedUnixMs, startedMs: lj.StartedUnixMs, doneMs: lj.DoneUnixMs,
+		}
+		switch lj.State {
+		case StateDone:
+			res, err := loadResult(m.opts.Dir, lj.ID)
+			if err != nil {
+				j.state, j.gen, j.doneMs, j.errMsg = StateQueued, 0, 0, ""
+			} else {
+				j.result = res
+				j.bestSpeedup, j.bestDeme, j.migrations = res.Speedup, res.BestDeme, res.Migrations
+				m.cache.put(j.key, res)
+			}
+		case StateQueued, StateRunning:
+			j.state = StateQueued
+			j.startedMs = 0
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+	}
+	return nil
+}
+
+// workloadFor returns the shared instance of a registered workload,
+// constructing it (dataset generation included) on first use.
+func (m *Manager) workloadFor(name string) (workload.Workload, error) {
+	m.wlMu.Lock()
+	defer m.wlMu.Unlock()
+	if w, ok := m.workloads[name]; ok {
+		return w, nil
+	}
+	build := m.opts.Workloads
+	if build == nil {
+		build = workload.ByName
+	}
+	w, err := build(name)
+	if err != nil {
+		return nil, err
+	}
+	m.workloads[name] = w
+	return w, nil
+}
+
+// wakeup nudges one idle executor (non-blocking; the signal is level, not
+// counted — executors rescan the ring whenever they wake).
+func (m *Manager) wakeup() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit registers a job for the spec, returning its status. Identical
+// specs coalesce: while a job for the same content key is queued or
+// running, the submission attaches to it (single-flight); once done, the
+// status carries the finished result; a failed or cancelled job is
+// requeued and resumes from its checkpoint. A spec whose job record has
+// been pruned but whose result is still in the LRU cache is answered
+// without running anything.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	key := spec.Key()
+	id := jobID(key)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, fmt.Errorf("serve: manager is closed")
+	}
+	if j, ok := m.jobs[id]; ok {
+		j.submits++
+		if j.state == StateFailed || j.state == StateCancelled {
+			j.state = StateQueued
+			j.errMsg = ""
+			j.cancelWanted = false
+			j.doneMs = 0
+			m.wakeup()
+		}
+		m.persistLocked()
+		return j.status(), nil
+	}
+	now := time.Now().UnixMilli()
+	if res, ok := m.cache.get(key); ok {
+		j := &job{
+			id: id, key: key, spec: spec,
+			state: StateDone, gen: spec.Generations, bestDeme: res.BestDeme,
+			bestSpeedup: res.Speedup, migrations: res.Migrations,
+			submits: 1, cached: true, result: res,
+			submittedMs: now, doneMs: now,
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		// A cache hit resurrects a pruned job record: withdraw any queued
+		// removal of its directory before rewriting the result there.
+		for i, rid := range m.pendingRemove {
+			if rid == id {
+				m.pendingRemove = append(m.pendingRemove[:i], m.pendingRemove[i+1:]...)
+				break
+			}
+		}
+		if m.opts.Dir != "" {
+			if err := saveResult(m.opts.Dir, id, res); err != nil {
+				delete(m.jobs, id)
+				m.order = m.order[:len(m.order)-1]
+				return JobStatus{}, err
+			}
+		}
+		m.persistLocked()
+		return j.status(), nil
+	}
+	j := &job{
+		id: id, key: key, spec: spec,
+		state: StateQueued, bestDeme: -1, submits: 1, submittedMs: now,
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.persistLocked()
+	m.wakeup()
+	return j.status(), nil
+}
+
+// Get returns a job's status.
+func (m *Manager) Get(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// List returns every known job in submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j.status())
+		}
+	}
+	return out
+}
+
+// Cancel requests a job stop. A queued job cancels immediately; a job
+// mid-slice finishes its current round first (cancellation is observed at
+// slice boundaries, which is also what keeps its checkpoint resumable).
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("serve: no job %q", id)
+	}
+	if j.state.Terminal() {
+		st := j.status()
+		m.mu.Unlock()
+		return st, nil
+	}
+	var ev *Event
+	j.cancelWanted = true
+	if !j.claimed {
+		m.finalizeLocked(j, StateCancelled, "")
+		e := Event{Type: string(StateCancelled), Job: j.status()}
+		ev = &e
+	}
+	st := j.status()
+	m.mu.Unlock()
+	if ev != nil {
+		m.hub.publish(*ev)
+	}
+	return st, nil
+}
+
+// Subscribe returns a channel of progress events for one job ("" = all
+// jobs) plus a cancel function. The channel closes if the subscriber lags
+// or the manager shuts down.
+func (m *Manager) Subscribe(job string) (<-chan Event, func()) {
+	s, cancel := m.hub.subscribe(job)
+	return s.ch, cancel
+}
+
+// Stats summarizes the manager and its evaluation pool.
+type Stats struct {
+	// Jobs counts jobs by state.
+	Jobs map[string]int `json:"jobs"`
+	// Executors is the configured slice concurrency.
+	Executors int `json:"executors"`
+	// CachedResults is the LRU result-cache occupancy.
+	CachedResults int `json:"cached_results"`
+	// Pool samples the shared evaluation pool's gauges.
+	Pool core.PoolStats `json:"pool"`
+}
+
+// Stats samples the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{
+		Jobs:          make(map[string]int),
+		Executors:     m.opts.Executors,
+		CachedResults: m.cache.len(),
+	}
+	for _, j := range m.jobs {
+		st.Jobs[string(j.state)]++
+	}
+	m.mu.Unlock()
+	st.Pool = m.pool.Stats()
+	return st
+}
+
+// Close stops the executors (finishing any in-flight slices) and
+// disconnects subscribers. Durable state needs no flush — it is already
+// written after every slice; Close exists for tidiness, not correctness,
+// which is the crash-safety invariant.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stopc)
+	m.wg.Wait()
+	if m.persistStop != nil {
+		close(m.persistStop)
+		<-m.persisterDone
+	}
+	m.hub.close()
+}
+
+// executor is one scheduler goroutine: claim the next runnable job in
+// round-robin order, advance it one slice, repeat.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for {
+		j := m.claimNext()
+		if j == nil {
+			select {
+			case <-m.stopc:
+				return
+			case <-m.wake:
+				continue
+			}
+		}
+		m.runSlice(j)
+	}
+}
+
+// claimNext picks the next unclaimed, runnable job after the round-robin
+// cursor and marks it claimed. Fairness is positional: the cursor advances
+// past each claim, so every runnable job gets a slice before any job gets
+// two.
+func (m *Manager) claimNext() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || len(m.order) == 0 {
+		return nil
+	}
+	for i := 0; i < len(m.order); i++ {
+		idx := (m.cursor + i) % len(m.order)
+		j, ok := m.jobs[m.order[idx]]
+		if !ok || j.claimed || j.state.Terminal() || j.cancelWanted {
+			continue
+		}
+		j.claimed = true
+		if j.state == StateQueued {
+			j.state = StateRunning
+			if j.startedMs == 0 {
+				j.startedMs = time.Now().UnixMilli()
+			}
+			m.persistLocked()
+		}
+		m.cursor = (idx + 1) % len(m.order)
+		return j
+	}
+	return nil
+}
+
+// runSlice advances a claimed job by one migration round: build or restore
+// the search if this is the job's first slice in this process, step,
+// checkpoint, then publish progress — search-state durability strictly
+// before visibility, so no progress a client observed can exceed what a
+// crash-restart replays.
+func (m *Manager) runSlice(j *job) {
+	defer m.wakeup()
+	if j.search == nil {
+		if err := m.openSearch(j); err != nil {
+			m.finalize(j, StateFailed, err.Error(), nil)
+			return
+		}
+	}
+	j.search.StepRound()
+	done := j.search.Done()
+	if m.opts.Dir != "" {
+		cp, err := j.search.Snapshot()
+		if err == nil {
+			err = cp.Save(checkpointPath(m.opts.Dir, j.id))
+		}
+		if err != nil {
+			m.finalize(j, StateFailed, fmt.Sprintf("checkpoint: %v", err), nil)
+			return
+		}
+	}
+	if done {
+		res, err := m.buildResult(j)
+		if err != nil {
+			m.finalize(j, StateFailed, err.Error(), nil)
+			return
+		}
+		m.finalize(j, StateDone, "", res)
+		return
+	}
+	prog := j.search.Progress()
+	points := genPoints(j.search, j.lastEventGen)
+
+	m.mu.Lock()
+	j.gen = prog.Gen
+	j.bestSpeedup = prog.BestSpeedup
+	j.bestDeme = prog.BestDeme
+	j.migrations = prog.Migrations
+	j.evaluations = prog.Evaluations
+	j.lastEventGen = prog.Gen
+	j.claimed = false
+	var ev *Event
+	if j.cancelWanted {
+		m.finalizeLocked(j, StateCancelled, "")
+		e := Event{Type: string(StateCancelled), Job: j.status()}
+		ev = &e
+	} else {
+		m.persistLocked()
+		e := Event{Type: "progress", Job: j.status(), Gens: points}
+		ev = &e
+	}
+	m.mu.Unlock()
+	m.hub.publish(*ev)
+}
+
+// openSearch builds the job's island search: from the job's checkpoint
+// when one exists (resume), from the spec otherwise. Both paths attach the
+// manager's shared pool.
+func (m *Manager) openSearch(j *job) error {
+	w, err := m.workloadFor(j.spec.Workload)
+	if err != nil {
+		return err
+	}
+	if m.opts.Dir != "" {
+		if cp, err := island.Load(checkpointPath(m.opts.Dir, j.id)); err == nil {
+			s, err := island.RestoreWithPool(w, cp, m.pool)
+			if err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+			j.search = s
+			j.lastEventGen = s.Generation()
+			return nil
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("resume: %w", err)
+		}
+	}
+	s, err := island.New(w, j.spec.islandConfig(m.pool))
+	if err != nil {
+		return err
+	}
+	j.search = s
+	return nil
+}
+
+// buildResult summarizes a finished search, including the CLI-equivalent
+// held-out validation of the winning genome unless disabled.
+func (m *Manager) buildResult(j *job) (*JobResult, error) {
+	r := j.search.Result()
+	bestArch := r.Demes[r.BestDeme].Arch
+	res := &JobResult{
+		Workload:    j.spec.Workload,
+		Demes:       j.spec.Demes,
+		Pop:         j.spec.Pop,
+		Generations: r.Generations,
+		Seed:        j.spec.Seed,
+		BestDeme:    r.BestDeme,
+		BestArch:    bestArch,
+		BaseMs:      r.BaseFitness,
+		BestMs:      r.Best.Fitness,
+		Speedup:     r.Speedup,
+		Migrations:  r.Migrations,
+		GenomeEdits: len(r.Best.Genome),
+	}
+	for _, e := range r.Best.Genome {
+		res.Genome = append(res.Genome, e.String())
+	}
+	if !m.opts.SkipValidation {
+		w, err := m.workloadFor(j.spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(w, core.Config{Arch: gpu.ArchByName(bestArch), Pool: m.pool})
+		res.Validated = eng.Validate(r.Best.Genome) == nil
+	}
+	return res, nil
+}
+
+// finalize moves a claimed job to a terminal state and publishes the
+// terminal event. Done results are persisted before the state flips, so a
+// crash between the two leaves a running job with a complete checkpoint —
+// re-finalized identically on resume.
+func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
+	if state == StateDone && m.opts.Dir != "" {
+		if err := saveResult(m.opts.Dir, j.id, res); err != nil {
+			state, errMsg, res = StateFailed, fmt.Sprintf("persist result: %v", err), nil
+		}
+	}
+	m.mu.Lock()
+	if j.search != nil {
+		prog := j.search.Progress()
+		j.gen = prog.Gen
+		j.migrations = prog.Migrations
+		j.evaluations = prog.Evaluations
+		if prog.BestDeme >= 0 {
+			j.bestSpeedup, j.bestDeme = prog.BestSpeedup, prog.BestDeme
+		}
+	}
+	j.result = res
+	if res != nil {
+		j.bestSpeedup, j.bestDeme = res.Speedup, res.BestDeme
+		m.cache.put(j.key, res)
+	}
+	m.finalizeLocked(j, state, errMsg)
+	ev := Event{Type: string(state), Job: j.status()}
+	m.mu.Unlock()
+	m.hub.publish(ev)
+}
+
+// finalizeLocked is the lock-held core of finalize: state flip, unclaim,
+// prune, persist.
+func (m *Manager) finalizeLocked(j *job, state State, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.claimed = false
+	j.cancelWanted = false
+	j.doneMs = time.Now().UnixMilli()
+	j.search = nil
+	m.pruneLocked()
+	m.persistLocked()
+}
+
+// pruneLocked caps retained terminal job records at the cache size,
+// dropping oldest-first. Their results stay in the LRU cache (and on disk)
+// — resubmitting a pruned spec is a cache hit, not a re-run.
+func (m *Manager) pruneLocked() {
+	terminal := 0
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.opts.CacheSize {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if terminal > m.opts.CacheSize && j != nil && j.state.Terminal() {
+			delete(m.jobs, id)
+			if m.opts.Dir != "" {
+				m.pendingRemove = append(m.pendingRemove, id)
+			}
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+	if len(m.order) > 0 {
+		m.cursor %= len(m.order)
+	} else {
+		m.cursor = 0
+	}
+}
+
+// persistLocked marks the ledger dirty (no-op without a state directory);
+// the persister goroutine performs the actual write. Mutations are
+// therefore durable within one persister round trip of happening, not
+// synchronously — the crash-resume invariant never depends on the ledger
+// being fresher than the checkpoints, which are written synchronously by
+// the executor that owns the slice.
+func (m *Manager) persistLocked() {
+	if m.dirty == nil {
+		return
+	}
+	select {
+	case m.dirty <- struct{}{}:
+	default:
+	}
+}
+
+// persister serializes all ledger writes and pruned-directory removals.
+// Persist failures are deliberately swallowed: the ledger is rewritten on
+// every state change, so a transient write error heals on the next one,
+// and failing live jobs over a bookkeeping hiccup would be worse than a
+// stale ledger (the checkpoint files, not the ledger, carry search state).
+func (m *Manager) persister() {
+	defer close(m.persisterDone)
+	for {
+		select {
+		case <-m.dirty:
+			m.writeLedger()
+		case <-m.persistStop:
+			// Final flush so a graceful close leaves the freshest picture.
+			m.writeLedger()
+			return
+		}
+	}
+}
+
+// writeLedger snapshots the job table under the lock, then writes and
+// cleans up outside it. Pruned directories are removed only after the
+// ledger that no longer lists them is durable; a crash between the two
+// leaves orphan directories, which are harmless and bounded by the crash
+// count.
+func (m *Manager) writeLedger() {
+	m.mu.Lock()
+	jobs := make([]ledgerJob, 0, len(m.order))
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, ledgerJob{
+			ID: j.id, Key: j.key, Spec: j.spec, State: j.state, Gen: j.gen,
+			Submits: j.submits, Cached: j.cached, Error: j.errMsg,
+			SubmittedUnixMs: j.submittedMs, StartedUnixMs: j.startedMs, DoneUnixMs: j.doneMs,
+		})
+	}
+	remove := m.pendingRemove
+	m.pendingRemove = nil
+	m.mu.Unlock()
+
+	_ = saveLedger(m.opts.Dir, jobs)
+	for _, id := range remove {
+		_ = os.RemoveAll(jobDir(m.opts.Dir, id))
+	}
+}
+
+// genPoints extracts the ring-wide per-generation trajectory newer than
+// from: at each generation, the best per-deme speedup (comparable across
+// heterogeneous rings) and that deme's fitness.
+func genPoints(s *island.Search, from int) []GenPoint {
+	r := s.Result()
+	var out []GenPoint
+	for g := from + 1; g <= s.Generation(); g++ {
+		var pt GenPoint
+		best := 0.0
+		for _, d := range r.Demes {
+			h := d.Result.History
+			if g-1 >= len(h.Records) || h.Records[g-1].Gen != g {
+				continue
+			}
+			rec := h.Records[g-1]
+			// An all-invalid generation records +Inf best fitness; such a
+			// point is skipped rather than emitted — +Inf is not
+			// JSON-encodable, and a generation with nothing valid has no
+			// trajectory value to report.
+			if rec.BestFitness <= 0 || math.IsInf(rec.BestFitness, 1) {
+				continue
+			}
+			if sp := d.Result.BaseFitness / rec.BestFitness; sp > best {
+				best = sp
+				pt = GenPoint{Gen: g, BestMs: rec.BestFitness, Speedup: sp}
+			}
+		}
+		if best > 0 {
+			out = append(out, pt)
+		}
+	}
+	return out
+}

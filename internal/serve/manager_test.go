@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gevo/internal/island"
+	"gevo/internal/workload"
+)
+
+// tinyWorkloads resolves registry names to miniature datasets (the island
+// tests' configurations), so the scheduler and durability machinery are
+// exercised without paying for the standard datasets — essential under
+// -race, where each simulated evaluation is an order of magnitude slower.
+func tinyWorkloads(name string) (workload.Workload, error) {
+	return workload.ByNameWith(name, workload.Options{
+		ADEPT:  &workload.ADEPTOptions{Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32},
+		SIMCoV: &workload.SIMCoVOptions{Seed: 3, W: 32, H: 8, Steps: 4, LargeW: 32, LargeH: 16},
+	})
+}
+
+// openTest opens a manager on tiny workloads with validation off.
+func openTest(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	opts.Workloads = tinyWorkloads
+	opts.SkipValidation = true
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// testSpec is a small but real search: 2 demes, 3 migration rounds.
+func testSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Workload: "adept-v0", Demes: 2, Pop: 4,
+		Generations: 6, MigrationInterval: 2, MigrationSize: 1,
+		MutationRate: f64(0.5), CrossoverRate: f64(0.8), Seed: seed,
+	}
+}
+
+// crashSpec gives the kill-and-restart test a longer budget (20 rounds):
+// the kill is triggered as soon as both jobs clear one round, so tens of
+// remaining rounds guarantee it lands mid-search at any machine speed.
+func crashSpec(seed uint64) JobSpec {
+	sp := testSpec(seed)
+	sp.Generations = 40
+	return sp
+}
+
+// waitFor polls a job until pred holds, failing the test on timeout.
+func waitFor(t *testing.T, m *Manager, id string, what string, pred func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Get(id)
+		if ok && pred(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := m.Get(id)
+	t.Fatalf("timeout waiting for job %s %s (state %s gen %d err %q)", id, what, st.State, st.Gen, st.Error)
+	return JobStatus{}
+}
+
+func isDone(st JobStatus) bool     { return st.State == StateDone }
+func isTerminal(st JobStatus) bool { return st.State.Terminal() }
+
+// TestManagerGolden pins the spec→search mapping: a job run through the
+// manager produces exactly the result of driving the equivalent island
+// search directly.
+func TestManagerGolden(t *testing.T) {
+	m := openTest(t, Options{})
+	spec := testSpec(1)
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitFor(t, m, st.ID, "done", isDone)
+	if st.Result == nil {
+		t.Fatal("done job has no result")
+	}
+
+	w, err := tinyWorkloads("adept-v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := testSpec(1)
+	ref.Normalize()
+	s, err := island.New(w, ref.islandConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.BestMs != res.Best.Fitness || st.Result.Speedup != res.Speedup ||
+		st.Result.BaseMs != res.BaseFitness || st.Result.BestDeme != res.BestDeme ||
+		st.Result.Migrations != res.Migrations {
+		t.Errorf("manager result %+v != direct island result best %.6f (%.3fx) deme %d",
+			st.Result, res.Best.Fitness, res.Speedup, res.BestDeme)
+	}
+	if len(st.Result.Genome) != len(res.Best.Genome) {
+		t.Fatalf("genome length %d != %d", len(st.Result.Genome), len(res.Best.Genome))
+	}
+	for i, e := range res.Best.Genome {
+		if st.Result.Genome[i] != e.String() {
+			t.Errorf("genome edit %d: %q != %q", i, st.Result.Genome[i], e.String())
+		}
+	}
+}
+
+// TestSingleFlight is an acceptance criterion: two identical specs
+// submitted concurrently coalesce into one search and both callers get the
+// result.
+func TestSingleFlight(t *testing.T) {
+	m := openTest(t, Options{})
+
+	spec := testSpec(2)
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := m.Submit(testSpec(2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("identical specs got different jobs: %s vs %s", id, ids[0])
+		}
+	}
+	st := waitFor(t, m, ids[0], "done", isDone)
+	if st.Submits != len(ids) {
+		t.Errorf("submits = %d, want %d", st.Submits, len(ids))
+	}
+	if st.Result == nil {
+		t.Error("coalesced job has no result")
+	}
+
+	// A later identical submission answers instantly from the job record.
+	again, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || again.Result == nil {
+		t.Errorf("resubmission of finished spec: state %s, result %v", again.State, again.Result)
+	}
+
+	// Only one search ran: the manager saw ~one job's worth of distinct
+	// evaluations, not eight (generous bound — breeding overlap varies).
+	if c := m.pool.Stats().Completed; c > 200 {
+		t.Errorf("pool completed %d evaluations; single-flight should have run one search", c)
+	}
+}
+
+// TestCacheHit pins the LRU path: a spec whose job record is gone but
+// whose result is cached answers without running a search.
+func TestCacheHit(t *testing.T) {
+	m := openTest(t, Options{})
+	spec := testSpec(3)
+	spec.Normalize()
+	canned := &JobResult{Workload: spec.Workload, Seed: spec.Seed, Speedup: 1.25, BestArch: "P100"}
+	m.mu.Lock()
+	m.cache.put(spec.Key(), canned)
+	m.mu.Unlock()
+
+	st, err := m.Submit(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || !st.Cached {
+		t.Fatalf("cache hit: state %s cached %v", st.State, st.Cached)
+	}
+	if !reflect.DeepEqual(st.Result, canned) {
+		t.Errorf("cached result mangled: %+v", st.Result)
+	}
+	if c := m.pool.Stats().Completed; c != 0 {
+		t.Errorf("cache hit ran %d evaluations", c)
+	}
+}
+
+// TestCancel covers both cancellation paths: a queued job cancels
+// immediately, a running one at its next slice boundary; resubmission
+// requeues it.
+func TestCancel(t *testing.T) {
+	m := openTest(t, Options{})
+	long := testSpec(4)
+	long.Generations = 10000 // never finishes within the test
+	st, err := m.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, m, st.ID, "progress", func(s JobStatus) bool { return s.Gen > 0 })
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitFor(t, m, st.ID, "cancelled", isTerminal)
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if _, err := m.Cancel("jdeadbeef00000000"); err == nil {
+		t.Error("cancelling unknown job succeeded")
+	}
+
+	// Resubmission revives the job.
+	st2, err := m.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID || st2.State.Terminal() {
+		t.Fatalf("resubmitted cancelled job: id %s state %s", st2.ID, st2.State)
+	}
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, m, st.ID, "cancelled again", isTerminal)
+}
+
+// TestEvents checks the progress stream: monotonically advancing
+// per-generation points ending in a terminal event.
+func TestEvents(t *testing.T) {
+	m := openTest(t, Options{})
+	spec := testSpec(5)
+	spec.Normalize()
+	ch, cancel := m.Subscribe(jobID(spec.Key()))
+	defer cancel()
+	if _, err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	lastGen := 0
+	progress := 0
+	for ev := range ch {
+		switch ev.Type {
+		case "progress":
+			progress++
+			for _, p := range ev.Gens {
+				if p.Gen <= lastGen {
+					t.Errorf("generation points regressed: %d after %d", p.Gen, lastGen)
+				}
+				lastGen = p.Gen
+			}
+		case string(StateDone):
+			if ev.Job.Result == nil {
+				t.Error("done event without result")
+			}
+			if progress == 0 {
+				t.Error("no progress events before done")
+			}
+			return
+		default:
+			t.Fatalf("unexpected event %q", ev.Type)
+		}
+	}
+	t.Fatal("event channel closed before terminal event")
+}
+
+// TestCrashResume is the headline acceptance criterion: a manager killed
+// with two jobs in flight (durable state only — no graceful flush beyond
+// what every slice already wrote) resumes both on reopen and finishes with
+// results bit-identical to an uninterrupted manager run of the same specs.
+func TestCrashResume(t *testing.T) {
+	specs := []JobSpec{crashSpec(11), crashSpec(12)}
+
+	// Uninterrupted reference run (both jobs in flight together, like the
+	// interrupted run).
+	ref := make(map[uint64]*JobResult)
+	{
+		m := openTest(t, Options{Dir: t.TempDir()})
+		refIDs := make([]string, len(specs))
+		for i, sp := range specs {
+			st, err := m.Submit(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refIDs[i] = st.ID
+		}
+		for i, id := range refIDs {
+			st := waitFor(t, m, id, "done", isDone)
+			ref[specs[i].Seed] = st.Result
+		}
+		m.Close()
+	}
+
+	// Interrupted run: same specs, killed once both jobs are mid-search.
+	dir := t.TempDir()
+	m := openTest(t, Options{Dir: dir})
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		st, err := m.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		waitFor(t, m, id, "progress", func(s JobStatus) bool { return s.Gen > 0 || s.State.Terminal() })
+	}
+	// "Kill": stop executors without any terminal flush — Close writes
+	// nothing the slices have not already persisted, so reopening the
+	// directory is exactly the kill -9 picture (the cross-process kill -9
+	// variant runs in CI's serve-smoke job).
+	m.Close()
+
+	inFlight := 0
+	for _, id := range ids {
+		if st, ok := m.Get(id); ok && !st.State.Terminal() {
+			inFlight++
+		}
+	}
+	if inFlight < 2 {
+		t.Fatalf("only %d jobs in flight at kill; want 2 (test raced to completion)", inFlight)
+	}
+
+	// The durable picture at kill time: both jobs mid-flight in the ledger.
+	ledgered, err := loadLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledgered) != 2 {
+		t.Fatalf("ledger has %d jobs, want 2", len(ledgered))
+	}
+	for _, lj := range ledgered {
+		if lj.State.Terminal() {
+			t.Fatalf("job %s terminal (%s) in ledger at kill time", lj.ID, lj.State)
+		}
+	}
+
+	m2 := openTest(t, Options{Dir: dir})
+	for i, id := range ids {
+		if _, ok := m2.Get(id); !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		st := waitFor(t, m2, id, "done after resume", isDone)
+		if !reflect.DeepEqual(st.Result, ref[specs[i].Seed]) {
+			t.Errorf("job %s (seed %d): resumed result differs from uninterrupted run:\n%+v\n%+v",
+				id, specs[i].Seed, st.Result, ref[specs[i].Seed])
+		}
+		if st.Gen < specs[i].Generations {
+			t.Errorf("job %s finished at gen %d, want %d", id, st.Gen, specs[i].Generations)
+		}
+	}
+}

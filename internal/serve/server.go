@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes a Manager over REST with SSE progress streaming:
+//
+//	POST   /jobs             submit a JobSpec → JobStatus (dedup/cache aware)
+//	GET    /jobs             list jobs → []JobStatus
+//	GET    /jobs/{id}        one job → JobStatus
+//	DELETE /jobs/{id}        cancel → JobStatus
+//	GET    /jobs/{id}/result finished artifact → JobResult (409 until done)
+//	GET    /jobs/{id}/events SSE stream of Events (status replay, then live)
+//	GET    /stats            manager + pool gauges → Stats
+//	GET    /healthz          liveness
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wraps a manager in the REST/SSE API.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.get)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /stats", s.stats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse job spec: %w", err))
+		return
+	}
+	st, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	if st.State != StateDone || st.Result == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("job %q is %s, result available once done", id, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Result)
+}
+
+// events streams a job's progress as server-sent events. The current
+// status is replayed first (type "status", or the terminal type if the job
+// already ended), so a late subscriber is consistent without a separate
+// poll; the stream closes after a terminal event.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	// Subscribe before the replay snapshot so no event between snapshot and
+	// stream start is lost (duplicates are fine, gaps are not).
+	ch, cancel := s.m.Subscribe(id)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	st, _ = s.m.Get(id)
+	typ := "status"
+	if st.State.Terminal() {
+		typ = string(st.State)
+	}
+	writeSSE(w, Event{Type: typ, Job: st})
+	fl.Flush()
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Lagged out or manager shutdown: end the stream; clients
+				// re-sync via the status endpoint.
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.Type != "progress" && ev.Type != "status" {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE emits one event in text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev Event) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, blob)
+}
+
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}

@@ -1,0 +1,155 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gevo/internal/serve"
+	"gevo/internal/serve/client"
+	"gevo/internal/workload"
+)
+
+func f64(v float64) *float64 { return &v }
+
+// startServer runs a manager behind an httptest server and returns a
+// typed client for it. Jobs resolve to miniature datasets so the HTTP and
+// SSE paths are exercised without standard-dataset search cost.
+func startServer(t *testing.T) *client.Client {
+	t.Helper()
+	m, err := serve.Open(serve.Options{
+		SkipValidation: true,
+		Workloads: func(name string) (workload.Workload, error) {
+			return workload.ByNameWith(name, workload.Options{
+				ADEPT: &workload.ADEPTOptions{Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32},
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+	})
+	return client.New(ts.URL)
+}
+
+// TestServerEndToEnd drives the full REST/SSE surface through the typed
+// client: submit, SSE watch to completion, result artifact, list, stats,
+// and the error paths.
+func TestServerEndToEnd(t *testing.T) {
+	c := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	spec := func(seed uint64, gens int) serve.JobSpec {
+		return serve.JobSpec{
+			Workload: "adept-v0", Demes: 2, Pop: 4,
+			Generations: gens, MigrationInterval: 2,
+			MutationRate: f64(0.5), CrossoverRate: f64(0.8), Seed: seed,
+		}
+	}
+
+	// A job too long to finish during the test carries the in-flight
+	// assertions: premature result fetch, live SSE progress, cancellation.
+	long, err := c.Submit(ctx, spec(21, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.ID == "" || long.State.Terminal() {
+		t.Fatalf("fresh submission: %+v", long)
+	}
+	if _, err := c.Result(ctx, long.ID); err == nil || !strings.Contains(err.Error(), "once done") {
+		t.Errorf("premature result fetch: %v", err)
+	}
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	sawProgress := make(chan struct{})
+	go func() {
+		first := true
+		_, _ = c.Watch(watchCtx, long.ID, func(ev serve.Event) {
+			if ev.Type == "progress" && first {
+				first = false
+				close(sawProgress)
+			}
+		})
+	}()
+	select {
+	case <-sawProgress:
+	case <-ctx.Done():
+		t.Fatal("no progress events over SSE")
+	}
+	cancelled, err := c.Cancel(ctx, long.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cancelled.State.Terminal() {
+		// Mid-slice cancellation lands at the next slice boundary.
+		if final, err := c.WaitDone(ctx, long.ID, nil); err != nil || final.State != serve.StateCancelled {
+			t.Fatalf("cancel: state %s err %v", final.State, err)
+		}
+	}
+
+	// A short job carries the completion flow end to end.
+	st, err := c.Submit(ctx, spec(22, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitDone(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateDone || final.Result == nil {
+		t.Fatalf("final: state %s result %v error %q", final.State, final.Result, final.Error)
+	}
+
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMs != final.Result.BestMs || res.Speedup != final.Result.Speedup {
+		t.Errorf("result endpoint %+v != status result %+v", res, final.Result)
+	}
+
+	// Resubmission of the finished spec answers immediately.
+	again, err := c.Submit(ctx, spec(22, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != serve.StateDone || again.Submits != 2 {
+		t.Errorf("resubmission: state %s submits %d", again.State, again.Submits)
+	}
+
+	jobs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("list: %+v", jobs)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs[string(serve.StateDone)] != 1 || stats.Jobs[string(serve.StateCancelled)] != 1 ||
+		stats.Pool.Completed == 0 || stats.Pool.Workers <= 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+
+	// Error paths: unknown job, invalid spec (error must name the registry).
+	if _, err := c.Get(ctx, "jffffffffffffffff"); err == nil {
+		t.Error("unknown job status succeeded")
+	}
+	if _, err := c.Cancel(ctx, "jffffffffffffffff"); err == nil {
+		t.Error("unknown job cancel succeeded")
+	}
+	if _, err := c.Submit(ctx, serve.JobSpec{Workload: "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "known: adept-v0, adept-v1, simcov") {
+		t.Errorf("invalid spec error: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecNormalizeKey pins content addressing: an empty spec and a spec
+// with every default spelled out address the same job; any substantive
+// field change addresses a different one.
+func TestSpecNormalizeKey(t *testing.T) {
+	a := JobSpec{Workload: "adept-v0"}
+	a.Normalize()
+	b := JobSpec{
+		Workload: "adept-v0", Archs: []string{"P100"}, Demes: 2, Pop: 8,
+		Generations: 12, MigrationInterval: 4, MigrationSize: 1,
+		MutationRate: f64(0.5), CrossoverRate: f64(0.8), Seed: 1,
+	}
+	b.Normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("defaulted and explicit specs key differently:\n%+v\n%+v", a, b)
+	}
+	if jobID(a.Key()) != jobID(b.Key()) {
+		t.Error("job IDs differ for identical keys")
+	}
+
+	variants := []func(*JobSpec){
+		func(s *JobSpec) { s.Workload = "adept-v1" },
+		func(s *JobSpec) { s.Archs = []string{"V100"} },
+		func(s *JobSpec) { s.Archs = []string{"P100", "V100"} },
+		func(s *JobSpec) { s.Demes = 3 },
+		func(s *JobSpec) { s.Pop = 16 },
+		func(s *JobSpec) { s.Generations = 20 },
+		func(s *JobSpec) { s.MigrationInterval = 2 },
+		func(s *JobSpec) { s.MigrationSize = 2 },
+		func(s *JobSpec) { s.MutationRate = f64(0.9) },
+		func(s *JobSpec) { s.CrossoverRate = f64(0.1) },
+		func(s *JobSpec) { s.Seed = 7 },
+	}
+	seen := map[string]int{a.Key(): -1}
+	for i, mutate := range variants {
+		s := JobSpec{Workload: "adept-v0"}
+		s.Normalize()
+		mutate(&s)
+		s.Normalize()
+		if prev, dup := seen[s.Key()]; dup {
+			t.Errorf("variant %d collides with variant %d", i, prev)
+		}
+		seen[s.Key()] = i
+	}
+}
+
+// TestSpecValidate pins the trust-boundary errors: unknown names must list
+// the registries, bounds must hold.
+func TestSpecValidate(t *testing.T) {
+	ok := JobSpec{Workload: "simcov"}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*JobSpec)
+		wantSub string
+	}{
+		{"unknown workload", func(s *JobSpec) { s.Workload = "nope" }, "known: adept-v0, adept-v1, simcov"},
+		{"unknown arch", func(s *JobSpec) { s.Archs = []string{"TPUv9"} }, "known: P100, 1080Ti, V100"},
+		{"deme bound", func(s *JobSpec) { s.Demes = 65 }, "demes"},
+		{"pop bound", func(s *JobSpec) { s.Pop = 5000 }, "population"},
+		{"generation bound", func(s *JobSpec) { s.Generations = 1000000 }, "generations"},
+		{"mutation range", func(s *JobSpec) { s.MutationRate = f64(1.5) }, "mutation_rate"},
+		{"crossover range", func(s *JobSpec) { s.CrossoverRate = f64(-0.5) }, "crossover_rate"},
+	}
+	for _, tc := range cases {
+		s := JobSpec{Workload: "adept-v0"}
+		s.Normalize()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestResultCacheLRU pins the eviction order and refresh-on-use.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &JobResult{Seed: 1}, &JobResult{Seed: 2}, &JobResult{Seed: 3}
+	c.put("a", r1)
+	c.put("b", r2)
+	if _, ok := c.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r3)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if res, ok := c.get("a"); !ok || res != r1 {
+		t.Error("a evicted or corrupted")
+	}
+	if res, ok := c.get("c"); !ok || res != r3 {
+		t.Error("c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}

@@ -44,7 +44,10 @@ type ADEPTOptions struct {
 	FitPairs, HoldoutPairs int
 	// RefLen and QueryLen are the sequence lengths (defaults 96/64).
 	RefLen, QueryLen int
-	// Budget bounds dynamic instructions per launch (default 64M).
+	// Budget bounds dynamic instructions per launch at the fitness-set
+	// size (default 64M). Launches over larger datasets (the held-out
+	// set) scale it pro rata with their pair count, since legitimate
+	// launch work is linear in pairs.
 	Budget int64
 }
 
@@ -112,6 +115,21 @@ func (a *ADEPT) reference(pairs []align.Pair) []align.Result {
 		}
 	}
 	return out
+}
+
+// launchBudget scales the per-launch dynamic instruction budget with the
+// launch's pair count. The configured budget is calibrated to the fitness
+// set (the guard on the search hot path stays exactly as tight as
+// configured); launches over larger datasets — the standard 96-pair
+// holdout against a 16-pair fitness set — do linearly more legitimate
+// work (one block per pair) and get a pro-rata budget instead of being
+// misclassified as runaway variants.
+func (a *ADEPT) launchBudget(pairs int) int64 {
+	fitN := len(a.fit)
+	if pairs <= fitN || fitN == 0 {
+		return a.budget
+	}
+	return a.budget / int64(fitN) * int64(pairs)
 }
 
 // Name implements Workload.
@@ -285,7 +303,7 @@ func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, ui *uploadImage, want []align.
 		}
 	}
 
-	cfg := gpu.LaunchConfig{Grid: dd.n, Block: a.block, Args: args, MaxDynInstr: a.budget, Profile: fwdProf}
+	cfg := gpu.LaunchConfig{Grid: dd.n, Block: a.block, Args: args, MaxDynInstr: a.launchBudget(dd.n), Profile: fwdProf}
 	res, err := d.Launch(fwd, cfg)
 	if err != nil {
 		return 0, nil, err

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"gevo/internal/gpu"
+)
+
+// TestRegistryNames pins the registry listing and the unknown-name error.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"adept-v0", "adept-v1", "simcov"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "known: adept-v0, adept-v1, simcov") {
+		t.Errorf("unknown-name error should list the registry, got: %v", err)
+	}
+}
+
+// TestByNameWithOptions checks that caller options reach the constructor
+// and that nil options keep the standard configuration.
+func TestByNameWithOptions(t *testing.T) {
+	small, err := ByNameWith("adept-v0", Options{ADEPT: &ADEPTOptions{Seed: 11, FitPairs: 2, HoldoutPairs: 2, RefLen: 48, QueryLen: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(small.(*ADEPT).FitnessPairs()); n != 2 {
+		t.Errorf("custom FitPairs = %d, want 2", n)
+	}
+	std, err := ByNameWith("adept-v0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(std.(*ADEPT).FitnessPairs()); n != 16 {
+		t.Errorf("standard FitPairs = %d, want 16", n)
+	}
+	if _, err := ByNameWith("simcov", Options{SIMCoV: &SIMCoVOptions{Seed: 3, W: 32, H: 8, Steps: 4}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryBaseValidates is the serve-layer guarantee: every registered
+// workload's base program passes its own held-out validation at the
+// standard configuration. This regressed silently before the dynamic
+// instruction budget scaled with dataset size — the 96-pair ADEPT holdout
+// exceeded a budget sized for the 16-pair fitness launch.
+func TestRegistryBaseValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standard datasets are large; skipped in -short")
+	}
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
+			t.Errorf("%s: base fitness evaluation failed: %v", name, err)
+		}
+		if err := w.Validate(w.Base(), gpu.P100); err != nil {
+			t.Errorf("%s: base held-out validation failed: %v", name, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"gevo/internal/gpu"
 	"gevo/internal/ir"
@@ -30,23 +31,68 @@ type Workload interface {
 	Validate(m *ir.Module, arch *gpu.Arch) error
 }
 
-// CLINames lists the workload names accepted by ByName, for flag help.
-const CLINames = "adept-v0, adept-v1, simcov"
+// Options carries the per-family dataset knobs accepted by ByNameWith. A
+// nil field keeps the tools' standard configuration for that family,
+// including the standard dataset seed; a non-nil field is passed through
+// verbatim (its own zero values then mean the workload's documented
+// defaults).
+type Options struct {
+	ADEPT  *ADEPTOptions
+	SIMCoV *SIMCoVOptions
+}
 
-// ByName builds a workload from its CLI name with the tools' standard
-// dataset seeds — the single registry shared by cmd/gevo, cmd/gevo-islands
-// and friends, so the set of names (which checkpoint files are keyed on)
-// cannot drift between binaries.
-func ByName(name string) (Workload, error) {
-	switch name {
-	case "adept-v0":
-		return NewADEPT(kernels.ADEPTV0, ADEPTOptions{Seed: 11})
-	case "adept-v1":
-		return NewADEPT(kernels.ADEPTV1, ADEPTOptions{Seed: 11})
-	case "simcov":
-		return NewSIMCoV(SIMCoVOptions{Seed: 3})
+// registry is the single name→constructor table shared by every binary, so
+// the set of names (which checkpoints and serve job specs are keyed on)
+// cannot drift between tools. Standard dataset seeds live here: ADEPT 11,
+// SIMCoV 3.
+var registry = []struct {
+	name  string
+	build func(Options) (Workload, error)
+}{
+	{"adept-v0", func(o Options) (Workload, error) { return NewADEPT(kernels.ADEPTV0, o.adept()) }},
+	{"adept-v1", func(o Options) (Workload, error) { return NewADEPT(kernels.ADEPTV1, o.adept()) }},
+	{"simcov", func(o Options) (Workload, error) { return NewSIMCoV(o.simcov()) }},
+}
+
+func (o Options) adept() ADEPTOptions {
+	if o.ADEPT != nil {
+		return *o.ADEPT
 	}
-	return nil, fmt.Errorf("unknown workload %q (want %s)", name, CLINames)
+	return ADEPTOptions{Seed: 11}
+}
+
+func (o Options) simcov() SIMCoVOptions {
+	if o.SIMCoV != nil {
+		return *o.SIMCoV
+	}
+	return SIMCoVOptions{Seed: 3}
+}
+
+// Names lists the registered workload names in registry order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.name
+	}
+	return names
+}
+
+// CLINames is the comma-separated registry listing, for flag help.
+var CLINames = strings.Join(Names(), ", ")
+
+// ByName builds a workload from its registered name with the tools'
+// standard dataset configuration.
+func ByName(name string) (Workload, error) { return ByNameWith(name, Options{}) }
+
+// ByNameWith builds a workload from its registered name with caller-chosen
+// dataset options. Unknown names report the full registry.
+func ByNameWith(name string, opt Options) (Workload, error) {
+	for _, b := range registry {
+		if b.name == name {
+			return b.build(opt)
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (known: %s)", name, CLINames)
 }
 
 // Profiler is implemented by workloads that can attribute cycles to

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Serve smoke test: start gevo-serve, submit two jobs, kill -9 the server
+# mid-run, restart it on the same state directory, and assert both jobs
+# resume and finish with results byte-identical to an uninterrupted run of
+# the same specs (the crash-resume invariant, across real processes).
+#
+# Usage: scripts/serve_smoke.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d)}"
+ADDR=127.0.0.1:8791
+BASE="http://$ADDR"
+SEEDS=(5 6)
+SUBMIT_ARGS=(-workload simcov -demes 2 -pop 4 -gens 20 -interval 2 -k 1)
+
+say() { echo "serve_smoke: $*"; }
+die() { say "FAIL: $*"; exit 1; }
+
+mkdir -p "$WORK/bin"
+go build -o "$WORK/bin" ./cmd/gevo-serve ./cmd/gevo-submit
+
+SERVER_PID=""
+cleanup() { [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+start_server() { # $1 = state dir
+  "$WORK/bin/gevo-serve" -addr "$ADDR" -dir "$1" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || die "server died during startup"
+    sleep 0.1
+  done
+  die "server did not become healthy"
+}
+
+stop_server_hard() {
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+field() { # $1 = json on stdin field name
+  python3 -c "import json,sys; print(json.load(sys.stdin)['$1'])"
+}
+
+submit_job() { # $1 = seed → job id on stdout
+  "$WORK/bin/gevo-submit" -server "$BASE" "${SUBMIT_ARGS[@]}" -seed "$1" | field id
+}
+
+job_state() { "$WORK/bin/gevo-submit" -server "$BASE" -status "$1" | field state; }
+job_gen() { "$WORK/bin/gevo-submit" -server "$BASE" -status "$1" | field gen; }
+
+wait_done() { # $1 = job id
+  for _ in $(seq 1 600); do
+    case "$(job_state "$1")" in
+      done) return 0 ;;
+      failed|cancelled) die "job $1 ended $(job_state "$1")" ;;
+    esac
+    sleep 0.5
+  done
+  die "job $1 did not finish"
+}
+
+run_uninterrupted() { # $1 = state dir, $2 = result prefix
+  start_server "$1"
+  local ids=()
+  for s in "${SEEDS[@]}"; do ids+=("$(submit_job "$s")"); done
+  for i in "${!ids[@]}"; do
+    wait_done "${ids[$i]}"
+    "$WORK/bin/gevo-submit" -server "$BASE" -result "${ids[$i]}" > "$2.$i.json"
+  done
+  stop_server_hard
+}
+
+say "phase 1: uninterrupted reference run"
+run_uninterrupted "$WORK/state-ref" "$WORK/ref"
+
+say "phase 2: run with kill -9 mid-flight"
+start_server "$WORK/state-crash"
+IDS=()
+for s in "${SEEDS[@]}"; do IDS+=("$(submit_job "$s")"); done
+for id in "${IDS[@]}"; do
+  for _ in $(seq 1 300); do
+    gen="$(job_gen "$id")"
+    [ "$gen" -gt 0 ] && break
+    sleep 0.1
+  done
+  [ "$gen" -gt 0 ] || die "job $id made no progress before kill"
+done
+for id in "${IDS[@]}"; do
+  st="$(job_state "$id")"
+  [ "$st" = running ] || [ "$st" = queued ] || die "job $id already $st before kill"
+done
+say "killing server (kill -9) with jobs at gens: $(job_gen "${IDS[0]}"), $(job_gen "${IDS[1]}")"
+stop_server_hard
+
+say "phase 3: restart and resume"
+start_server "$WORK/state-crash"
+for i in "${!IDS[@]}"; do
+  wait_done "${IDS[$i]}"
+  "$WORK/bin/gevo-submit" -server "$BASE" -result "${IDS[$i]}" > "$WORK/resumed.$i.json"
+done
+stop_server_hard
+
+say "phase 4: golden comparison"
+for i in "${!IDS[@]}"; do
+  diff -u "$WORK/ref.$i.json" "$WORK/resumed.$i.json" \
+    || die "job $i: resumed result differs from uninterrupted run"
+done
+say "PASS: both jobs resumed after kill -9 with bit-identical results"
