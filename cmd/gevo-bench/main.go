@@ -37,6 +37,7 @@ import (
 	"gevo/internal/kernels"
 	"gevo/internal/serve"
 	"gevo/internal/serve/client"
+	"gevo/internal/synth"
 	"gevo/internal/workload"
 )
 
@@ -332,6 +333,99 @@ func serveSuite(jobs, executors int) ([]benchResult, error) {
 	}}, nil
 }
 
+// synthSuite runs the scenario-generation benchmarks behind
+// BENCH_synth.json: the default suite through the synth gauntlet
+// (generation, oracle cross-check, interp ≡ threaded differential,
+// per-backend evaluation latency), plus a short fixed-budget search per
+// family over `seeds` scenario instances at the minimum problem size, so
+// the per-family search-speedup distribution is tracked across commits.
+// Any verification or differential failure is an error — CI's synth-smoke
+// job fails on it.
+func synthSuite(evals, seeds, pop, gens int) ([]benchResult, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	reps, err := synth.RunSuite(synth.DefaultSuite(), gpu.P100, evals)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]benchResult, 0, len(reps))
+	for _, r := range reps {
+		res := benchResult{
+			Name:   "synth_" + r.Spec.Family,
+			WallMs: r.ThreadedMsPerEval * float64(evals),
+			Metrics: map[string]float64{
+				"instrs":             float64(r.Instrs),
+				"grid":               float64(r.Grid),
+				"block":              float64(r.Block),
+				"timing_uniform":     boolMetric(r.TimingUniform),
+				"fitness_ms":         r.FitnessMs,
+				"ms_per_eval":        r.ThreadedMsPerEval,
+				"ns_per_eval":        r.ThreadedMsPerEval * 1e6,
+				"interp_ms_per_eval": r.InterpMsPerEval,
+				"speedup_vs_interp":  r.BackendSpeedup,
+			},
+		}
+		speedups, evalsTotal, err := synthSearches(r.Spec.Family, seeds, pop, gens)
+		if err != nil {
+			return nil, err
+		}
+		lo, mid, hi := speedups[0], speedups[len(speedups)/2], speedups[len(speedups)-1]
+		res.Metrics["search_seeds"] = float64(seeds)
+		res.Metrics["search_speedup_min"] = lo
+		res.Metrics["search_speedup_median"] = mid
+		res.Metrics["search_speedup_max"] = hi
+		res.Metrics["search_evaluations"] = float64(evalsTotal)
+		out = append(out, res)
+		fmt.Fprintf(os.Stderr, "gevo-bench: %-18s %6.0f ns/eval  uniform=%v  search speedup %0.3fx/%0.3fx/%0.3fx\n",
+			res.Name, res.Metrics["ns_per_eval"], r.TimingUniform, lo, mid, hi)
+	}
+	return out, nil
+}
+
+// synthSearches runs one short search per scenario seed on a family's
+// minimum-size instance and returns the sorted speedups plus the total
+// evaluation count.
+func synthSearches(family string, seeds, pop, gens int) ([]float64, int, error) {
+	speedups := make([]float64, 0, seeds)
+	evalsTotal := 0
+	for s := 1; s <= seeds; s++ {
+		var sp *synth.Spec
+		for _, c := range synth.SearchSuite(uint64(s)) {
+			if c.Family == family {
+				sp = &c
+				break
+			}
+		}
+		if sp == nil {
+			return nil, 0, fmt.Errorf("synth search suite lacks family %q", family)
+		}
+		w, err := synth.New(*sp)
+		if err != nil {
+			return nil, 0, err
+		}
+		eng := core.NewEngine(w, core.Config{
+			Pop: pop, Generations: gens, Seed: uint64(s), Arch: gpu.P100,
+			MutationRate: 0.5, CrossoverRate: 0.8,
+		})
+		res, err := eng.Run()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: search failed: %w", sp.Name(), err)
+		}
+		speedups = append(speedups, res.Speedup)
+		evalsTotal += res.Evaluations
+	}
+	sort.Float64s(speedups)
+	return speedups, evalsTotal, nil
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func writeReport(rep report, path string) error {
 	blob, err := json.MarshalIndent(rep, "", " ")
 	if err != nil {
@@ -358,6 +452,9 @@ func main() {
 	gens := flag.Int("gens", 10, "generations for the search benchmarks")
 	serveJobs := flag.Int("serve-jobs", 6, "concurrent mixed jobs for the serve benchmark")
 	serveExecutors := flag.Int("serve-executors", 4, "executor goroutines for the serve benchmark")
+	synthOut := flag.String("synth-out", "BENCH_synth.json", "scenario-suite output file ('' to skip, '-' for stdout)")
+	synthSeeds := flag.Int("synth-seeds", 3, "scenario seeds searched per family for the speedup distribution")
+	synthGens := flag.Int("synth-gens", 8, "generations per synth search")
 	flag.Parse()
 
 	if *coreOut != "" {
@@ -373,6 +470,23 @@ func main() {
 		}
 		rep.Benchmarks = core
 		if err := writeReport(rep, *coreOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *synthOut != "" {
+		rep := report{
+			Suite:      "gevo-bench-synth",
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			UnixMs:     time.Now().UnixMilli(),
+		}
+		res, err := synthSuite(*evals, *synthSeeds, 8, *synthGens)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Benchmarks = res
+		if err := writeReport(rep, *synthOut); err != nil {
 			fatal(err)
 		}
 	}

@@ -111,8 +111,15 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	listWorkloads := flag.Bool("list-workloads", false, "print the registered workload names and exit")
 	flag.Parse()
 
+	if *listWorkloads {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if b, err := gpu.ParseBackend(*backend); err != nil {
 		fatal(err)
 	} else {

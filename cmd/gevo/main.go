@@ -53,8 +53,15 @@ func main() {
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	listWorkloads := flag.Bool("list-workloads", false, "print the registered workload names and exit")
 	flag.Parse()
 
+	if *listWorkloads {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if b, err := gpu.ParseBackend(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "gevo:", err)
 		os.Exit(2)

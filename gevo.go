@@ -29,6 +29,7 @@ import (
 	"gevo/internal/island"
 	"gevo/internal/kernels"
 	"gevo/internal/serve"
+	"gevo/internal/synth"
 	"gevo/internal/workload"
 )
 
@@ -205,6 +206,51 @@ var OpenJobManager = serve.Open
 
 // NewJobServer wraps a manager in the REST/SSE http.Handler.
 var NewJobServer = serve.NewServer
+
+// Scenario-generation re-exports (internal/synth, DESIGN.md §7): a
+// deterministic, seed-driven generator of GPU kernel families. Scenarios
+// are addressed by parseable names (synth:FAMILY[:seed=S][:n=N]) through
+// the shared workload registry, so every tool and the serve job API search
+// them like the two applications; the same spec always yields
+// byte-identical IR and bit-identical fixed-seed search results.
+type (
+	// SynthSpec addresses one generated scenario (family, seed, size).
+	SynthSpec = synth.Spec
+	// SynthWorkload is a generated scenario wired as a Workload.
+	SynthWorkload = synth.Workload
+	// SynthSuiteReport is one family's share of a suite run.
+	SynthSuiteReport = synth.SuiteReport
+)
+
+// NewSynth generates the scenario addressed by a spec: a verified module
+// with generator-derived golden outputs, cross-checked against the
+// reference interpreter at construction.
+func NewSynth(sp SynthSpec) (*SynthWorkload, error) { return synth.New(sp) }
+
+// ParseSynthSpec decodes a synth:FAMILY[:seed=S][:n=N] workload name.
+var ParseSynthSpec = synth.Parse
+
+// SynthFamilies lists the kernel family names.
+var SynthFamilies = synth.Families
+
+// SynthDefaultSuite returns one default-configuration spec per family.
+var SynthDefaultSuite = synth.DefaultSuite
+
+// RunSynthSuite runs the scenario gauntlet (verification, oracle
+// cross-check, interp ≡ threaded differential, per-backend timing) over a
+// set of specs.
+var RunSynthSuite = synth.RunSuite
+
+// WorkloadByName builds any registered workload — the applications or a
+// synth: scenario — from its name with the standard configuration.
+var WorkloadByName = workload.ByName
+
+// WorkloadNames lists the registered workload names.
+var WorkloadNames = workload.Names
+
+// ResolveWorkload validates a workload name (including parameterized
+// synth: specs) without generating datasets.
+var ResolveWorkload = workload.Resolve
 
 // Analysis re-exports (paper Section V).
 type (

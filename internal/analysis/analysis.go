@@ -54,27 +54,51 @@ type MinimizeResult struct {
 	Kept []int
 	// Weak are the eliminated edits.
 	Weak []int
-	// FullFitness and KeptFitness measure the set before and after.
+	// FullFitness and KeptFitness measure the set before and after. When
+	// the run aborted, KeptFitness is the last successful measurement of
+	// the kept set rather than a fresh final evaluation.
 	FullFitness, KeptFitness float64
+	// Aborted reports that re-evaluating the kept set failed mid-loop —
+	// something only a flaky or stateful evaluator can cause, since every
+	// kept set was measured clean when its last member left it. Algorithm 1
+	// has no undo, so the remaining edits are classified as kept; Aborted
+	// makes that early stop explicit instead of silent.
+	Aborted bool
+	// AbortReason records which step failed and why.
+	AbortReason string
 }
 
 // Minimize implements Algorithm 1: iteratively mark edits whose removal (in
 // the context of all remaining edits) changes performance by less than the
 // threshold (the paper's 1%, measured with the profiler-grade simulator).
 func Minimize(eval Evaluator, edits []core.Edit, threshold float64) (*MinimizeResult, error) {
-	eval = CachedEvaluator(eval)
+	return minimize(CachedEvaluator(eval), edits, threshold)
+}
+
+// minimize is Minimize without the memoization wrapper; the caching makes
+// the abort path unreachable for deterministic evaluators (tests inject
+// flaky evaluators here directly).
+func minimize(eval Evaluator, edits []core.Edit, threshold float64) (*MinimizeResult, error) {
 	full, err := eval(edits)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: full edit set fails: %w", err)
 	}
+	res := &MinimizeResult{FullFitness: full}
+	lastGood := full
 	weak := map[int]bool{}
 	for i := range edits {
 		fWith, errWith := eval(without(edits, weak))
 		if errWith != nil {
-			// Removing previous weaks broke the set; undo is impossible in
-			// Algorithm 1's formulation — treat remaining edits as kept.
+			// The kept set measured clean when its last member was removed,
+			// so a failure here means the evaluator changed its verdict.
+			// Undo is impossible in Algorithm 1's formulation: stop, classify
+			// the remainder as kept, and record the abort instead of
+			// returning a misleading "minimized set fails" error.
+			res.Aborted = true
+			res.AbortReason = fmt.Sprintf("re-evaluating the kept set before edit %d failed: %v", i, errWith)
 			break
 		}
+		lastGood = fWith
 		weak[i] = true
 		fWithout, errWithout := eval(without(edits, weak))
 		if errWithout != nil {
@@ -89,13 +113,16 @@ func Minimize(eval Evaluator, edits []core.Edit, threshold float64) (*MinimizeRe
 			delete(weak, i) // significant
 		}
 	}
-	res := &MinimizeResult{FullFitness: full}
 	for i := range edits {
 		if weak[i] {
 			res.Weak = append(res.Weak, i)
 		} else {
 			res.Kept = append(res.Kept, i)
 		}
+	}
+	if res.Aborted {
+		res.KeptFitness = lastGood
+		return res, nil
 	}
 	kf, err := eval(without(edits, weak))
 	if err != nil {

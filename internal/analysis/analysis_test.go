@@ -3,6 +3,7 @@ package analysis
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"gevo/internal/core"
@@ -81,6 +82,66 @@ func TestMinimizeKeepsLoadBearing(t *testing.T) {
 	}
 	if len(res.Kept) != 2 {
 		t.Errorf("kept = %v, want both (0 is load-bearing)", res.Kept)
+	}
+}
+
+// TestMinimizeRecordsAbort is the regression test for the once-silent early
+// stop: when re-evaluating the kept set fails mid-loop (only a flaky or
+// stateful evaluator can do this — Minimize's own memoization otherwise
+// replays the earlier clean verdict), the result must carry Aborted and the
+// reason, classify the remainder as kept, and report the last good fitness
+// instead of failing with a generic error.
+func TestMinimizeRecordsAbort(t *testing.T) {
+	// Call sequence for two weak-ish edits: 1 full, 2 fWith(i=0)=full,
+	// 3 fWithout(i=0)={1}, 4 fWith(i=1)={1} <- fails here.
+	calls := 0
+	flaky := func(edits []core.Edit) (float64, error) {
+		calls++
+		if calls == 4 {
+			return 0, errors.New("simulator went away")
+		}
+		f := 100.0
+		for range edits {
+			f -= 0.1 // every edit individually weak
+		}
+		return f, nil
+	}
+	edits := []core.Edit{{}, {}}
+	res, err := minimize(flaky, edits, 0.01)
+	if err != nil {
+		t.Fatalf("abort must not surface as an error: %v", err)
+	}
+	if !res.Aborted {
+		t.Fatal("Aborted not set")
+	}
+	if !strings.Contains(res.AbortReason, "edit 1") || !strings.Contains(res.AbortReason, "simulator went away") {
+		t.Errorf("AbortReason = %q", res.AbortReason)
+	}
+	if len(res.Weak) != 1 || res.Weak[0] != 0 {
+		t.Errorf("weak = %v, want [0]", res.Weak)
+	}
+	if len(res.Kept) != 1 || res.Kept[0] != 1 {
+		t.Errorf("kept = %v, want the unprocessed remainder [1]", res.Kept)
+	}
+	want := 100.0 // the full set's fitness, subtracted the way flaky computes it
+	for range edits {
+		want -= 0.1
+	}
+	if res.KeptFitness != want {
+		t.Errorf("KeptFitness = %v, want the last successful measurement %v", res.KeptFitness, want)
+	}
+}
+
+// TestMinimizeNotAbortedOnCleanRun pins that ordinary runs leave the abort
+// fields zero.
+func TestMinimizeNotAbortedOnCleanRun(t *testing.T) {
+	eval, edits := fakeEvaluator([]fakeEdit{{gain: 5}, {gain: 0.1}})
+	res, err := Minimize(eval, edits, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted || res.AbortReason != "" {
+		t.Errorf("clean run reported abort: %+v", res)
 	}
 }
 

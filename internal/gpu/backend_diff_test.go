@@ -5,6 +5,7 @@ import (
 
 	"gevo/internal/gpu"
 	"gevo/internal/kernels"
+	"gevo/internal/synth"
 	"gevo/internal/workload"
 )
 
@@ -73,6 +74,40 @@ func TestBackendDifferential(t *testing.T) {
 			if gotVal := tc.w.Validate(tc.w.Base(), arch); (gotVal == nil) != (wantVal == nil) {
 				t.Errorf("%s/%s: validation mismatch: interp %v, threaded %v",
 					tc.name, arch.Name, wantVal, gotVal)
+			}
+		}
+	}
+}
+
+// TestBackendDifferentialSynth extends the backend acceptance test to the
+// generated scenario corpus: every default-suite synthetic kernel (plus
+// one alternate seed per family, selecting the other structural shapes)
+// must produce bit-identical fitness under the reference interpreter and
+// under threaded code on every architecture, with the second threaded run
+// covering the uniform-launch memo replay for the timing-uniform families.
+//
+// CI runs this test by name and fails if it is skipped.
+func TestBackendDifferentialSynth(t *testing.T) {
+	specs := append(synth.DefaultSuite(), synth.SeedSuite(1002)...)
+	for _, sp := range specs {
+		w, err := synth.New(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name(), err)
+		}
+		for _, arch := range gpu.Architectures {
+			want, wantErr := w.EvaluateBackend(w.Base(), arch, gpu.BackendInterp)
+			if wantErr != nil {
+				t.Fatalf("%s/%s: interp evaluation failed: %v", w.Name(), arch.Name, wantErr)
+			}
+			for run := 0; run < 2; run++ {
+				got, err := w.EvaluateBackend(w.Base(), arch, gpu.BackendThreaded)
+				if err != nil {
+					t.Fatalf("%s/%s run %d: threaded evaluation failed: %v", w.Name(), arch.Name, run, err)
+				}
+				if got != want {
+					t.Errorf("%s/%s run %d: fitness %v (threaded) != %v (interp)",
+						w.Name(), arch.Name, run, got, want)
+				}
 			}
 		}
 	}

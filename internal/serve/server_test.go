@@ -153,3 +153,49 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("invalid spec error: %v", err)
 	}
 }
+
+// TestServerSynthJob runs a generated scenario end to end through the
+// service: a fully parameterized synth: name must validate at the trust
+// boundary, build through the standard workload factory, search to
+// completion, and report a result; malformed synth specs must be rejected
+// with the generator's descriptive error.
+func TestServerSynthJob(t *testing.T) {
+	c := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	spec := serve.JobSpec{
+		Workload: "synth:stencil2d:seed=4:n=64", Demes: 2, Pop: 4,
+		Generations: 6, MigrationInterval: 2,
+		MutationRate: f64(0.5), CrossoverRate: f64(0.8), Seed: 7,
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitDone(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateDone || final.Result == nil {
+		t.Fatalf("synth job: state %s result %v error %q", final.State, final.Result, final.Error)
+	}
+	if final.Result.Speedup < 1 {
+		t.Errorf("synth job regressed its base: %+v", final.Result)
+	}
+
+	// Identical spec resubmission coalesces like any other workload name.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != st.ID || again.Submits != 2 {
+		t.Errorf("synth resubmission: id %s submits %d", again.ID, again.Submits)
+	}
+
+	bad := spec
+	bad.Workload = "synth:stencil2d:n=1000"
+	if _, err := c.Submit(ctx, bad); err == nil || !strings.Contains(err.Error(), "perfect square") {
+		t.Errorf("malformed synth spec error: %v", err)
+	}
+}

@@ -59,8 +59,11 @@ type JobSpec struct {
 func f64(v float64) *float64 { return &v }
 
 // Normalize fills defaults in place so that specs differing only in
-// explicitness of defaults content-address identically.
+// explicitness of defaults content-address identically. The workload name
+// is canonicalized the same way: equivalent synth: spellings (omitted
+// defaults, reordered keys) must coalesce into one job.
 func (s *JobSpec) Normalize() {
+	s.Workload = workload.Canonical(strings.TrimSpace(s.Workload))
 	if len(s.Archs) == 0 {
 		s.Archs = []string{"P100"}
 	}
@@ -97,15 +100,10 @@ func (s *JobSpec) Normalize() {
 // registries and basic bounds, returning descriptive errors that list the
 // known names — the service's trust boundary.
 func (s *JobSpec) Validate() error {
-	known := false
-	for _, n := range workload.Names() {
-		if n == s.Workload {
-			known = true
-			break
-		}
-	}
-	if !known {
-		return fmt.Errorf("serve: unknown workload %q (known: %s)", s.Workload, workload.CLINames)
+	// Resolve validates both registry names and parameterized synth: specs
+	// without generating any datasets.
+	if err := workload.Resolve(s.Workload); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	for _, a := range s.Archs {
 		if _, err := gpu.ResolveArch(a); err != nil {

@@ -50,6 +50,36 @@ func TestSpecNormalizeKey(t *testing.T) {
 	}
 }
 
+// TestSpecNormalizeSynthNames pins workload-name canonicalization:
+// equivalent spellings of the same generated scenario — omitted defaults,
+// reordered keys — must content-address to one job, and distinct scenarios
+// must not collide.
+func TestSpecNormalizeSynthNames(t *testing.T) {
+	keys := make(map[string]string)
+	for _, name := range []string{
+		"synth:stencil2d",
+		"synth:stencil2d:seed=1",
+		"synth:stencil2d:seed=1:n=1024",
+		"synth:stencil2d:n=1024:seed=1",
+		" synth:stencil2d ",
+	} {
+		s := JobSpec{Workload: name}
+		s.Normalize()
+		if s.Workload != "synth:stencil2d:seed=1:n=1024" {
+			t.Errorf("Normalize(%q) workload = %q", name, s.Workload)
+		}
+		keys[s.Key()] = name
+	}
+	if len(keys) != 1 {
+		t.Errorf("equivalent synth spellings produced %d distinct keys: %v", len(keys), keys)
+	}
+	other := JobSpec{Workload: "synth:stencil2d:seed=2"}
+	other.Normalize()
+	if _, dup := keys[other.Key()]; dup {
+		t.Error("different scenario seed collided with the default spelling")
+	}
+}
+
 // TestSpecValidate pins the trust-boundary errors: unknown names must list
 // the registries, bounds must hold.
 func TestSpecValidate(t *testing.T) {

@@ -1,0 +1,762 @@
+package synth
+
+import (
+	"fmt"
+
+	"gevo/internal/gpu"
+	"gevo/internal/ir"
+	"gevo/internal/rng"
+)
+
+// The family generators. Every structural choice (radius, weights, block
+// size, neighbourhood, opcode menu) is drawn from the spec's shape stream
+// in a fixed order, so a spec always produces byte-identical IR; dataset
+// values come from the separate data streams. Each generator also builds
+// the host oracle from the same drawn parameters, mirroring the kernel's
+// operation order exactly — float adds in the same sequence, integer ops at
+// the same width — so oracle and base-program output agree bit for bit.
+//
+// Kernels are deliberately written the way mechanical GPU ports are
+// written (per-tap clamp recomputation, per-neighbour div/rem, guarded
+// neighbour chains): that redundancy is the optimization headroom the
+// evolutionary search mines, exactly like the paper's Section VI-D
+// boundary logic.
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// blockChoice draws a thread-block size from {64, 128, 256}.
+func blockChoice(r *rng.R) int { return 64 << (r.Uint64() % 3) }
+
+// emitChaff plants a seed-drawn chain of dead i32 arithmetic — the
+// computed-but-unused temporaries mechanical ports accumulate. The chain
+// is valid live-looking SSA (it consumes a real coordinate value) but its
+// result feeds nothing, so it is charged every execution and deleting it
+// is the exactness-preserving optimization the search should find first.
+// It draws from coordinates, never loads, so it cannot perturb a uniform
+// family's timing-obliviousness proof.
+func emitChaff(b *ir.Builder, shape *rng.R, seed ir.Operand) {
+	n := 2 + int(shape.Uint64()%5)
+	x := seed
+	for i := 0; i < n; i++ {
+		c := b.I32(int64(1 + shape.Uint64()&0xFF))
+		switch shape.Uint64() % 3 {
+		case 0:
+			x = b.Add(x, c)
+		case 1:
+			x = b.Xor(x, c)
+		default:
+			x = b.Mul(x, c)
+		}
+	}
+}
+
+// guardedPrologue emits the standard per-element prologue: compute the
+// global index, exit when it falls past n. Leaves the builder in "body".
+func guardedPrologue(b *ir.Builder, n ir.Operand, loc int) ir.Operand {
+	b.Block("entry")
+	b.At(loc)
+	idx := b.Add(b.Mul(b.Special(ir.SpecialBID), b.Special(ir.SpecialBDim)), b.Special(ir.SpecialTID))
+	inb := b.ICmp(ir.PredLT, idx, n)
+	b.CondBr(inb, "body", "exit")
+	b.Block("exit")
+	b.Ret()
+	b.Block("body")
+	return idx
+}
+
+// stencil1d: a (2r+1)-tap 1-D weighted stencil with edge clamping. The
+// clamp is recomputed per tap (edit sites); no branch or address depends on
+// loaded data, so the family is timing-uniform.
+func buildStencil1D(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	radius := 1 + int(shape.Uint64()%3)
+	weights := make([]float64, 2*radius+1)
+	for i := range weights {
+		weights[i] = float64(1+shape.Uint64()%8) / 8
+	}
+	block := blockChoice(shape)
+
+	b := ir.NewBuilder("stencil1d")
+	in := b.Param("in", ir.I64)
+	out := b.Param("out", ir.I64)
+	nn := b.Param("n", ir.I32)
+	idx := guardedPrologue(b, nn, 2)
+	b.At(3)
+	emitChaff(b, shape, idx)
+	hi := b.Sub(nn, b.I32(1))
+	acc := ir.ConstFloat(0)
+	for t := -radius; t <= radius; t++ {
+		j := b.Add(idx, b.I32(int64(t)))
+		jc := b.SMax(b.I32(0), b.SMin(j, hi))
+		v := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(in, jc, 8))
+		acc = b.FAdd(acc, b.FMul(v, ir.ConstFloat(weights[t+radius])))
+	}
+	b.At(4)
+	b.Store(ir.SpaceGlobal, acc, b.GlobalIdx(out, idx, 8))
+	b.Br("exit")
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void stencil1d(double* in, double* out, int n) { // radius %d", radius),
+			/* 2 */ "  int i = blockIdx.x*blockDim.x + threadIdx.x; if (i >= n) return;",
+			/* 3 */ "  double acc = 0; for (t) acc += in[clamp(i+t, 0, n-1)] * w[t];",
+			/* 4 */ "  out[i] = acc; }",
+		},
+		grid: ceilDiv(n, block), block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = rand01(r)
+			}
+			return [][]byte{f64Bytes(vals)}
+		},
+		outLen: 8 * n,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out), int64(n))
+		},
+		oracle: func(ds [][]byte) []byte {
+			src := f64sOf(ds[0])
+			res := make([]float64, n)
+			for i := range res {
+				acc := 0.0
+				for t := -radius; t <= radius; t++ {
+					j := min(max(i+t, 0), n-1)
+					acc = acc + src[j]*weights[t+radius]
+				}
+				res[i] = acc
+			}
+			return f64Bytes(res)
+		},
+	}
+}
+
+// stencil2d: a boundary-checked 2-D stencil over an s×s grid (5- or 9-point
+// neighbourhood by seed). Each neighbour recomputes the coordinate
+// decomposition with div/rem and guards the load with a conditional branch
+// — the Section VI-D shape. Branch conditions depend only on coordinates:
+// timing-uniform.
+func buildStencil2D(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	side := isqrt(n)
+	var offsets [][2]int
+	if shape.Uint64()%2 == 1 {
+		offsets = [][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+	} else {
+		offsets = [][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+	}
+	wc := float64(1+shape.Uint64()%8) / 8
+	wn := float64(1+shape.Uint64()%8) / 16
+	block := blockChoice(shape)
+
+	b := ir.NewBuilder("stencil2d")
+	src := b.Param("src", ir.I64)
+	dst := b.Param("dst", ir.I64)
+	wP := b.Param("W", ir.I32)
+	hP := b.Param("H", ir.I32)
+	b.Block("entry")
+	b.At(2)
+	idx := b.Add(b.Mul(b.Special(ir.SpecialBID), b.Special(ir.SpecialBDim)), b.Special(ir.SpecialTID))
+	num := b.Mul(wP, hP)
+	inb := b.ICmp(ir.PredLT, idx, num)
+	b.CondBr(inb, "body", "exit")
+	b.Block("exit")
+	b.Ret()
+	b.Block("body")
+	own := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(src, idx, 8))
+	emitChaff(b, shape, idx)
+
+	acc := ir.ConstFloat(0)
+	cur := "body"
+	for k, d := range offsets {
+		b.Block(cur)
+		b.At(3)
+		nx := b.Add(b.SRem(idx, wP), b.I32(int64(d[0])))
+		ny := b.Add(b.SDiv(idx, wP), b.I32(int64(d[1])))
+		okx := b.And(b.ICmp(ir.PredGE, nx, b.I32(0)), b.ICmp(ir.PredLT, nx, wP))
+		oky := b.And(b.ICmp(ir.PredGE, ny, b.I32(0)), b.ICmp(ir.PredLT, ny, hP))
+		ok := b.And(okx, oky)
+		nb := fmt.Sprintf("nb%d", k)
+		nxt := fmt.Sprintf("chk%d", k+1)
+		b.CondBr(ok, nb, nxt)
+
+		b.Block(nb)
+		b.At(4)
+		nidx := b.Add(idx, b.Add(b.Mul(b.I32(int64(d[1])), wP), b.I32(int64(d[0]))))
+		v := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(src, nidx, 8))
+		accIn := b.FAdd(acc, v)
+		b.Br(nxt)
+
+		b.Block(nxt)
+		phi := b.Phi(ir.F64, ir.Incoming{Block: cur, Val: acc}, ir.Incoming{Block: nb, Val: accIn})
+		acc = phi.Result()
+		cur = nxt
+	}
+	b.At(5)
+	res := b.FAdd(b.FMul(own, ir.ConstFloat(wc)), b.FMul(acc, ir.ConstFloat(wn)))
+	b.Store(ir.SpaceGlobal, res, b.GlobalIdx(dst, idx, 8))
+	b.Br("exit")
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void stencil2d(double* src, double* dst, int W, int H) { // %d-point", len(offsets)+1),
+			/* 2 */ "  int i = blockIdx.x*blockDim.x + threadIdx.x; if (i >= W*H) return;",
+			/* 3 */ "  int nx = i%W + dx, ny = i/W + dy; // per-neighbour boundary check",
+			/* 4 */ "  if (in bounds) acc += src[i + dy*W + dx];",
+			/* 5 */ "  dst[i] = src[i]*wc + acc*wn; }",
+		},
+		grid: ceilDiv(n, block), block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = rand01(r)
+			}
+			return [][]byte{f64Bytes(vals)}
+		},
+		outLen: 8 * n,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out), int64(side), int64(side))
+		},
+		oracle: func(ds [][]byte) []byte {
+			srcV := f64sOf(ds[0])
+			res := make([]float64, n)
+			for i := range res {
+				x, y := i%side, i/side
+				acc := 0.0
+				for _, d := range offsets {
+					nx, ny := x+d[0], y+d[1]
+					if nx >= 0 && nx < side && ny >= 0 && ny < side {
+						acc = acc + srcV[i+d[1]*side+d[0]]
+					}
+				}
+				res[i] = srcV[i]*wc + acc*wn
+			}
+			return f64Bytes(res)
+		},
+	}
+}
+
+// reduce: a grid-stride accumulation (sum or max by seed) into a
+// shared-memory tree per block, committed with one global atomic per
+// block. Loaded values stay on the value path only: timing-uniform.
+func buildReduce(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	useMax := shape.Uint64()%2 == 1
+	block := blockChoice(shape)
+	grid := 4 << (shape.Uint64() % 3)
+	combineName := "sum"
+	if useMax {
+		combineName = "max"
+	}
+
+	b := ir.NewBuilder("reduce")
+	in := b.Param("in", ir.I64)
+	outP := b.Param("out", ir.I64)
+	nn := b.Param("n", ir.I32)
+	sums := b.SharedArray("sums", block, 8)
+
+	b.Block("entry")
+	b.At(2)
+	tid := b.Special(ir.SpecialTID)
+	start := b.Add(b.Mul(b.Special(ir.SpecialBID), b.Special(ir.SpecialBDim)), tid)
+	stride := b.Mul(b.Special(ir.SpecialBDim), b.Special(ir.SpecialGDim))
+	b.Br("loop")
+
+	b.Block("loop")
+	iPhi := b.Phi(ir.I32)
+	aPhi := b.Phi(ir.I64)
+	i := iPhi.Result()
+	inb := b.ICmp(ir.PredLT, i, nn)
+	b.CondBr(inb, "acc", "red")
+
+	b.Block("acc")
+	b.At(3)
+	emitChaff(b, shape, i)
+	v := b.Load(ir.I64, ir.SpaceGlobal, b.GlobalIdx(in, i, 8))
+	var a2 ir.Operand
+	if useMax {
+		a2 = b.SMax(aPhi.Result(), v)
+	} else {
+		a2 = b.Add(aPhi.Result(), v)
+	}
+	i2 := b.Add(i, stride)
+	b.Br("loop")
+	b.AddIncoming(iPhi, "entry", start)
+	b.AddIncoming(iPhi, "acc", i2)
+	b.AddIncoming(aPhi, "entry", b.I64(0))
+	b.AddIncoming(aPhi, "acc", a2)
+
+	b.Block("red")
+	b.At(4)
+	part := b.Phi(ir.I64, ir.Incoming{Block: "loop", Val: aPhi.Result()})
+	b.Store(ir.SpaceShared, part.Result(), b.SharedAddr(sums, tid, 8))
+	b.Barrier()
+	for step, off := 0, block/2; off >= 1; off, step = off/2, step+1 {
+		cond := b.ICmp(ir.PredLT, tid, b.I32(int64(off)))
+		add := fmt.Sprintf("fold%d", step)
+		join := fmt.Sprintf("sync%d", step)
+		b.CondBr(cond, add, join)
+		b.Block(add)
+		x := b.Load(ir.I64, ir.SpaceShared, b.SharedAddr(sums, tid, 8))
+		y := b.Load(ir.I64, ir.SpaceShared, b.SharedAddr(sums, b.Add(tid, b.I32(int64(off))), 8))
+		var s ir.Operand
+		if useMax {
+			s = b.SMax(x, y)
+		} else {
+			s = b.Add(x, y)
+		}
+		b.Store(ir.SpaceShared, s, b.SharedAddr(sums, tid, 8))
+		b.Br(join)
+		b.Block(join)
+		b.Barrier()
+	}
+	isZero := b.ICmp(ir.PredEQ, tid, b.I32(0))
+	b.CondBr(isZero, "commit", "fin")
+	b.Block("commit")
+	b.At(5)
+	total := b.Load(ir.I64, ir.SpaceShared, b.SharedAddr(sums, b.I32(0), 8))
+	if useMax {
+		b.AtomicMax(ir.SpaceGlobal, outP, total)
+	} else {
+		b.AtomicAdd(ir.SpaceGlobal, outP, total)
+	}
+	b.Br("fin")
+	b.Block("fin")
+	b.Ret()
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void reduce(long* in, long* out, int n) { // %s", combineName),
+			/* 2 */ "  long acc = id; for (i = gid; i < n; i += gridDim*blockDim)",
+			/* 3 */ "    acc = combine(acc, in[i]);",
+			/* 4 */ "  sums[tid] = acc; __syncthreads(); // shared tree fold",
+			/* 5 */ "  if (tid == 0) atomicCombine(out, sums[0]); }",
+		},
+		grid: grid, block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(r.Uint64() & 0xFFFFFFFF)
+			}
+			return [][]byte{i64Bytes(vals)}
+		},
+		outLen: 8,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out), int64(n))
+		},
+		oracle: func(ds [][]byte) []byte {
+			vals := i64sOf(ds[0])
+			var total int64
+			for _, v := range vals {
+				if useMax {
+					total = max(total, v)
+				} else {
+					total += v
+				}
+			}
+			return i64Bytes([]int64{total})
+		},
+	}
+}
+
+// scan: a per-block inclusive prefix sum (Hillis–Steele in shared memory,
+// two barriers per round). The input is padded to a whole number of blocks
+// so every thread participates in every barrier — the kernel is
+// straight-line with no branches at all: timing-uniform.
+func buildScan(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	block := blockChoice(shape)
+	padded := ceilDiv(n, block) * block
+	grid := padded / block
+
+	b := ir.NewBuilder("scan")
+	in := b.Param("in", ir.I64)
+	outP := b.Param("out", ir.I64)
+	sh := b.SharedArray("sh", block, 8)
+	b.Block("entry")
+	b.At(2)
+	tid := b.Special(ir.SpecialTID)
+	g := b.Add(b.Mul(b.Special(ir.SpecialBID), b.Special(ir.SpecialBDim)), tid)
+	emitChaff(b, shape, g)
+	v := b.Load(ir.I64, ir.SpaceGlobal, b.GlobalIdx(in, g, 8))
+	b.Store(ir.SpaceShared, v, b.SharedAddr(sh, tid, 8))
+	b.Barrier()
+	acc := v
+	b.At(3)
+	for off := 1; off < block; off *= 2 {
+		jm := b.SMax(b.I32(0), b.Sub(tid, b.I32(int64(off))))
+		t := b.Load(ir.I64, ir.SpaceShared, b.SharedAddr(sh, jm, 8))
+		has := b.ICmp(ir.PredGE, tid, b.I32(int64(off)))
+		addv := b.Select(has, t, b.I64(0))
+		b.Barrier()
+		acc = b.Add(acc, addv)
+		b.Store(ir.SpaceShared, acc, b.SharedAddr(sh, tid, 8))
+		b.Barrier()
+	}
+	b.At(4)
+	b.Store(ir.SpaceGlobal, acc, b.GlobalIdx(outP, g, 8))
+	b.Ret()
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ "__global__ void scan(long* in, long* out) { // per-block inclusive prefix",
+			/* 2 */ "  sh[tid] = in[gid]; __syncthreads();",
+			/* 3 */ "  for (off = 1; off < blockDim; off <<= 1) { t = sh[tid-off]; sync; sh[tid] += t; sync; }",
+			/* 4 */ "  out[gid] = sh[tid]; }",
+		},
+		grid: grid, block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]int64, padded)
+			for i := 0; i < n; i++ {
+				vals[i] = int64(r.Uint64())
+			}
+			return [][]byte{i64Bytes(vals)}
+		},
+		outLen: 8 * padded,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out))
+		},
+		oracle: func(ds [][]byte) []byte {
+			vals := i64sOf(ds[0])
+			res := make([]int64, padded)
+			for c := 0; c < padded; c += block {
+				var run int64
+				for i := 0; i < block; i++ {
+					run += vals[c+i]
+					res[c+i] = run
+				}
+			}
+			return i64Bytes(res)
+		},
+	}
+}
+
+// histogram: data-dependent addressing — each sample's bin selects the
+// atomic's target counter, so the kernel must never qualify as
+// timing-oblivious. By seed: bin count and whether counts or values are
+// accumulated.
+func buildHistogram(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	bins := 16 << (shape.Uint64() % 4)
+	weighted := shape.Uint64()%2 == 1
+	block := blockChoice(shape)
+
+	b := ir.NewBuilder("histogram")
+	in := b.Param("in", ir.I64)
+	hist := b.Param("hist", ir.I64)
+	nn := b.Param("n", ir.I32)
+	idx := guardedPrologue(b, nn, 2)
+	b.At(3)
+	emitChaff(b, shape, idx)
+	v := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(in, idx, 4))
+	bin := b.And(v, b.I32(int64(bins-1)))
+	addr := b.GlobalIdx(hist, bin, 8)
+	var val ir.Operand
+	if weighted {
+		val = b.Sext(ir.I64, v)
+	} else {
+		val = b.I64(1)
+	}
+	b.AtomicAdd(ir.SpaceGlobal, addr, val)
+	b.Br("exit")
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void histogram(int* in, long* hist, int n) { // %d bins", bins),
+			/* 2 */ "  int i = blockIdx.x*blockDim.x + threadIdx.x; if (i >= n) return;",
+			/* 3 */ "  atomicAdd(&hist[in[i] & (B-1)], w); } // data-dependent address",
+		},
+		grid: ceilDiv(n, block), block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]int32, n)
+			for i := range vals {
+				vals[i] = int32(r.Uint64() & 0xFFFFF)
+			}
+			return [][]byte{i32Bytes(vals)}
+		},
+		outLen: 8 * bins,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out), int64(n))
+		},
+		oracle: func(ds [][]byte) []byte {
+			vals := i32sOf(ds[0])
+			counts := make([]int64, bins)
+			for _, v := range vals {
+				w := int64(1)
+				if weighted {
+					w = int64(v)
+				}
+				counts[v&int32(bins-1)] += w
+			}
+			return i64Bytes(counts)
+		},
+	}
+}
+
+// matmul: a tiled dense matrix multiply (C = A·B over an s×s problem, tile
+// side 4 or 8 by seed): shared tile staging, two barriers per phase, a real
+// phase loop with phis. Addresses and branches derive from coordinates
+// only: timing-uniform.
+func buildMatmul(sp Spec, shape *rng.R) *scenario {
+	s := sp.N
+	tile := 4 << (shape.Uint64() % 2)
+	tiles := s / tile
+	block := tile * tile
+	grid := tiles * tiles
+
+	b := ir.NewBuilder("matmul")
+	aP := b.Param("A", ir.I64)
+	bP := b.Param("B", ir.I64)
+	cP := b.Param("C", ir.I64)
+	as := b.SharedArray("As", block, 8)
+	bs := b.SharedArray("Bs", block, 8)
+	sc := b.I32(int64(s))
+	tc := b.I32(int64(tile))
+
+	b.Block("entry")
+	b.At(2)
+	tid := b.Special(ir.SpecialTID)
+	tx := b.SRem(tid, tc)
+	ty := b.SDiv(tid, tc)
+	bid := b.Special(ir.SpecialBID)
+	tilesC := b.I32(int64(tiles))
+	bx := b.SRem(bid, tilesC)
+	by := b.SDiv(bid, tilesC)
+	row := b.Add(b.Mul(by, tc), ty)
+	col := b.Add(b.Mul(bx, tc), tx)
+	shIdx := b.Add(b.Mul(ty, tc), tx)
+	b.Br("loop")
+
+	b.Block("loop")
+	tPhi := b.Phi(ir.I32)
+	accPhi := b.Phi(ir.F64)
+	t := tPhi.Result()
+	cond := b.ICmp(ir.PredLT, t, tilesC)
+	b.CondBr(cond, "body", "done")
+
+	b.Block("body")
+	b.At(3)
+	emitChaff(b, shape, t)
+	tBase := b.Mul(t, tc)
+	aIdx := b.Add(b.Mul(row, sc), b.Add(tBase, tx))
+	av := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(aP, aIdx, 8))
+	b.Store(ir.SpaceShared, av, b.SharedAddr(as, shIdx, 8))
+	bIdx := b.Add(b.Mul(b.Add(tBase, ty), sc), col)
+	bv := b.Load(ir.F64, ir.SpaceGlobal, b.GlobalIdx(bP, bIdx, 8))
+	b.Store(ir.SpaceShared, bv, b.SharedAddr(bs, shIdx, 8))
+	b.Barrier()
+	acc := accPhi.Result()
+	b.At(4)
+	for kk := 0; kk < tile; kk++ {
+		a := b.Load(ir.F64, ir.SpaceShared, b.SharedAddr(as, b.Add(b.Mul(ty, tc), b.I32(int64(kk))), 8))
+		bb := b.Load(ir.F64, ir.SpaceShared, b.SharedAddr(bs, b.Add(b.Mul(b.I32(int64(kk)), tc), tx), 8))
+		acc = b.FAdd(acc, b.FMul(a, bb))
+	}
+	b.Barrier()
+	t2 := b.Add(t, b.I32(1))
+	b.Br("loop")
+	b.AddIncoming(tPhi, "entry", b.I32(0))
+	b.AddIncoming(tPhi, "body", t2)
+	b.AddIncoming(accPhi, "entry", ir.ConstFloat(0))
+	b.AddIncoming(accPhi, "body", acc)
+
+	b.Block("done")
+	b.At(5)
+	fin := b.Phi(ir.F64, ir.Incoming{Block: "loop", Val: accPhi.Result()})
+	b.Store(ir.SpaceGlobal, fin.Result(), b.GlobalIdx(cP, b.Add(b.Mul(row, sc), col), 8))
+	b.Ret()
+
+	genMat := func(r *rng.R) []float64 {
+		vals := make([]float64, s*s)
+		for i := range vals {
+			vals[i] = rand01(r)
+		}
+		return vals
+	}
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void matmul(double* A, double* B, double* C) { // s=%d tile=%d", s, tile),
+			/* 2 */ "  int row = by*T+ty, col = bx*T+tx; double acc = 0;",
+			/* 3 */ "  for (t = 0; t < s/T; t++) { As[ty][tx] = A[row][t*T+tx]; Bs[ty][tx] = B[t*T+ty][col]; sync;",
+			/* 4 */ "    for (k) acc += As[ty][k]*Bs[k][tx]; sync; }",
+			/* 5 */ "  C[row][col] = acc; }",
+		},
+		grid: grid, block: block,
+		gen: func(r *rng.R) [][]byte {
+			return [][]byte{f64Bytes(genMat(r)), f64Bytes(genMat(r))}
+		},
+		outLen: 8 * s * s,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(in[1]), uint64(out))
+		},
+		oracle: func(ds [][]byte) []byte {
+			A := f64sOf(ds[0])
+			B := f64sOf(ds[1])
+			C := make([]float64, s*s)
+			for row := 0; row < s; row++ {
+				for col := 0; col < s; col++ {
+					acc := 0.0
+					for k := 0; k < s; k++ {
+						acc = acc + A[row*s+k]*B[k*s+col]
+					}
+					C[row*s+col] = acc
+				}
+			}
+			return f64Bytes(C)
+		},
+	}
+}
+
+// branchOp is one arithmetic step of a branchy stage; kind selects from a
+// small opcode menu, c is the drawn constant. emitOp and hostOp must stay
+// in exact correspondence.
+type branchOp struct {
+	kind int
+	c    int32
+}
+
+func drawOp(shape *rng.R) branchOp {
+	return branchOp{kind: int(shape.Uint64() % 4), c: int32(shape.Uint64() & 0x7FFF)}
+}
+
+func emitOp(b *ir.Builder, x ir.Operand, op branchOp) ir.Operand {
+	c := b.I32(int64(op.c))
+	switch op.kind {
+	case 0:
+		return b.Add(b.Mul(x, b.I32(3)), c)
+	case 1:
+		return b.Xor(x, c)
+	case 2:
+		return b.Sub(x, c)
+	default:
+		return b.Add(b.Shl(x, b.I32(1)), c)
+	}
+}
+
+func hostOp(x int32, op branchOp) int32 {
+	switch op.kind {
+	case 0:
+		return x*3 + op.c
+	case 1:
+		return x ^ op.c
+	case 2:
+		return x - op.c
+	default:
+		return (x << 1) + op.c
+	}
+}
+
+// branchy: a divergence-heavy family — a seed-drawn chain of 3..6
+// data-dependent two-way branches followed by a data-dependent bounded
+// loop. Loaded values reach branch conditions, so the family must never
+// qualify as timing-oblivious; it stresses SIMT divergence and
+// reconvergence in both backends.
+func buildBranchy(sp Spec, shape *rng.R) *scenario {
+	n := sp.N
+	depth := 3 + int(shape.Uint64()%4)
+	type stage struct{ thenOp, elseOp branchOp }
+	stages := make([]stage, depth)
+	for i := range stages {
+		stages[i] = stage{thenOp: drawOp(shape), elseOp: drawOp(shape)}
+	}
+	block := blockChoice(shape)
+
+	b := ir.NewBuilder("branchy")
+	in := b.Param("in", ir.I64)
+	out := b.Param("out", ir.I64)
+	nn := b.Param("n", ir.I32)
+	idx := guardedPrologue(b, nn, 2)
+	b.At(3)
+	emitChaff(b, shape, idx)
+	v := b.Load(ir.I32, ir.SpaceGlobal, b.GlobalIdx(in, idx, 4))
+	x := v
+	cur := "body"
+	for k, st := range stages {
+		b.Block(cur)
+		bit := b.And(b.LShr(v, b.I32(int64(k))), b.I32(1))
+		c := b.ICmp(ir.PredEQ, bit, b.I32(1))
+		thn := fmt.Sprintf("then%d", k)
+		els := fmt.Sprintf("else%d", k)
+		join := fmt.Sprintf("merge%d", k)
+		b.CondBr(c, thn, els)
+		b.Block(thn)
+		xt := emitOp(b, x, st.thenOp)
+		b.Br(join)
+		b.Block(els)
+		xe := emitOp(b, x, st.elseOp)
+		b.Br(join)
+		b.Block(join)
+		phi := b.Phi(ir.I32, ir.Incoming{Block: thn, Val: xt}, ir.Incoming{Block: els, Val: xe})
+		x = phi.Result()
+		cur = join
+	}
+	b.Block(cur)
+	b.At(4)
+	cnt := b.And(v, b.I32(7))
+	b.Br("lh")
+	b.Block("lh")
+	iPhi := b.Phi(ir.I32)
+	xPhi := b.Phi(ir.I32)
+	c2 := b.ICmp(ir.PredLT, iPhi.Result(), cnt)
+	b.CondBr(c2, "lb", "lend")
+	b.Block("lb")
+	x2 := b.Add(b.Mul(xPhi.Result(), b.I32(1103515245)), b.I32(12345))
+	i2 := b.Add(iPhi.Result(), b.I32(1))
+	b.Br("lh")
+	b.AddIncoming(iPhi, cur, b.I32(0))
+	b.AddIncoming(iPhi, "lb", i2)
+	b.AddIncoming(xPhi, cur, x)
+	b.AddIncoming(xPhi, "lb", x2)
+	b.Block("lend")
+	b.At(5)
+	xf := b.Phi(ir.I32, ir.Incoming{Block: "lh", Val: xPhi.Result()})
+	b.Store(ir.SpaceGlobal, xf.Result(), b.GlobalIdx(out, idx, 4))
+	b.Br("exit")
+
+	return &scenario{
+		fn: b.Finish(),
+		source: []string{
+			/* 1 */ fmt.Sprintf("__global__ void branchy(int* in, int* out, int n) { // %d stages", depth),
+			/* 2 */ "  int i = blockIdx.x*blockDim.x + threadIdx.x; if (i >= n) return;",
+			/* 3 */ "  int v = in[i], x = v; // per-bit divergent op chain",
+			/* 4 */ "  for (j = 0; j < (v & 7); j++) x = x*1103515245 + 12345;",
+			/* 5 */ "  out[i] = x; }",
+		},
+		grid: ceilDiv(n, block), block: block,
+		gen: func(r *rng.R) [][]byte {
+			vals := make([]int32, n)
+			for i := range vals {
+				vals[i] = int32(r.Uint64())
+			}
+			return [][]byte{i32Bytes(vals)}
+		},
+		outLen: 4 * n,
+		args: func(in []int64, out int64) []uint64 {
+			return gpu.PackArgs(uint64(in[0]), uint64(out), int64(n))
+		},
+		oracle: func(ds [][]byte) []byte {
+			vals := i32sOf(ds[0])
+			res := make([]int32, n)
+			for i, v := range vals {
+				x := v
+				for k, st := range stages {
+					if (uint32(v)>>uint(k))&1 == 1 {
+						x = hostOp(x, st.thenOp)
+					} else {
+						x = hostOp(x, st.elseOp)
+					}
+				}
+				for j := int32(0); j < v&7; j++ {
+					x = x*1103515245 + 12345
+				}
+				res[i] = x
+			}
+			return i32Bytes(res)
+		},
+	}
+}

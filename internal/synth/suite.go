@@ -1,0 +1,116 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gevo/internal/gpu"
+)
+
+// SuiteReport is one family's share of a suite run: generation facts
+// (instruction count, geometry, proven timing shape) and measured
+// evaluation latency under both backends, plus the differential verdict.
+type SuiteReport struct {
+	Spec   Spec   `json:"-"`
+	Name   string `json:"name"`
+	Kernel string `json:"kernel"`
+	// Instrs is the generated module's instruction count.
+	Instrs int `json:"instrs"`
+	Grid   int `json:"grid"`
+	Block  int `json:"block"`
+	// TimingUniform reports what the taint analysis proved for the
+	// generated kernel; UniformAsDocumented confirms it matches the
+	// family's documented timing shape.
+	TimingUniform       bool `json:"timing_uniform"`
+	UniformAsDocumented bool `json:"uniform_as_documented"`
+	// DifferentialOK reports interp ≡ threaded base fitness (the second
+	// threaded run replays through the uniform-launch memo when the kernel
+	// qualifies).
+	DifferentialOK bool `json:"differential_ok"`
+	// FitnessMs is the base program's simulated kernel time.
+	FitnessMs float64 `json:"fitness_ms"`
+	// Per-backend wall-clock evaluation latency.
+	InterpMsPerEval   float64 `json:"interp_ms_per_eval"`
+	ThreadedMsPerEval float64 `json:"threaded_ms_per_eval"`
+	BackendSpeedup    float64 `json:"backend_speedup"`
+}
+
+// RunSuite generates every spec and runs the scenario gauntlet on each:
+// construction (which verifies the module and cross-checks the oracle
+// against the reference interpreter), the documented-timing-shape check,
+// the interp ≡ threaded differential (twice threaded, to cover the
+// uniform-launch memo replay path), and per-backend evaluation timing over
+// `evals` repetitions. It completes the whole suite before reporting the
+// joined errors, so one broken family does not hide another's verdict.
+func RunSuite(specs []Spec, arch *gpu.Arch, evals int) ([]SuiteReport, error) {
+	if evals < 1 {
+		evals = 1
+	}
+	var errs []error
+	reports := make([]SuiteReport, 0, len(specs))
+	for _, sp := range sortedSpecs(specs) {
+		w, err := New(sp)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		rep := SuiteReport{
+			Spec: w.Spec(), Name: w.Name(), Kernel: w.Kernel(),
+			Instrs: w.Base().NumInstrs(), Grid: w.sc.grid, Block: w.sc.block,
+		}
+		k := w.baseProg.Kernels[w.Kernel()]
+		rep.TimingUniform = k.TimingOblivious()
+		wantUniform, _ := TimingUniform(sp.Family)
+		rep.UniformAsDocumented = rep.TimingUniform == wantUniform
+		if !rep.UniformAsDocumented {
+			errs = append(errs, fmt.Errorf("synth: %s: taint analysis proved oblivious=%v, family documents %v",
+				w.Name(), rep.TimingUniform, wantUniform))
+		}
+
+		interpMs, err := w.EvaluateBackend(w.Base(), arch, gpu.BackendInterp)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("synth: %s: interp evaluation failed: %w", w.Name(), err))
+			reports = append(reports, rep)
+			continue
+		}
+		rep.FitnessMs = interpMs
+		rep.DifferentialOK = true
+		for run := 0; run < 2; run++ {
+			got, err := w.EvaluateBackend(w.Base(), arch, gpu.BackendThreaded)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("synth: %s: threaded run %d failed: %w", w.Name(), run, err))
+				rep.DifferentialOK = false
+				break
+			}
+			if got != interpMs {
+				errs = append(errs, fmt.Errorf("synth: %s: threaded run %d fitness %v != interp %v",
+					w.Name(), run, got, interpMs))
+				rep.DifferentialOK = false
+			}
+		}
+
+		rep.InterpMsPerEval = timeEvals(w, arch, gpu.BackendInterp, evals)
+		rep.ThreadedMsPerEval = timeEvals(w, arch, gpu.BackendThreaded, evals)
+		if rep.ThreadedMsPerEval > 0 {
+			rep.BackendSpeedup = rep.InterpMsPerEval / rep.ThreadedMsPerEval
+		}
+		reports = append(reports, rep)
+	}
+	return reports, errors.Join(errs...)
+}
+
+// timeEvals measures the steady-state wall-clock cost of one base
+// evaluation under a backend (one warm-up evaluation, then the mean).
+func timeEvals(w *Workload, arch *gpu.Arch, b gpu.Backend, evals int) float64 {
+	if _, err := w.EvaluateBackend(w.Base(), arch, b); err != nil {
+		return 0
+	}
+	start := time.Now()
+	for i := 0; i < evals; i++ {
+		if _, err := w.EvaluateBackend(w.Base(), arch, b); err != nil {
+			return 0
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(evals)
+}

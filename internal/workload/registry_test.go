@@ -9,7 +9,11 @@ import (
 
 // TestRegistryNames pins the registry listing and the unknown-name error.
 func TestRegistryNames(t *testing.T) {
-	want := []string{"adept-v0", "adept-v1", "simcov"}
+	want := []string{
+		"adept-v0", "adept-v1", "simcov",
+		"synth:stencil1d", "synth:stencil2d", "synth:reduce", "synth:scan",
+		"synth:histogram", "synth:matmul", "synth:branchy",
+	}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -19,8 +23,92 @@ func TestRegistryNames(t *testing.T) {
 			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}
-	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "known: adept-v0, adept-v1, simcov") {
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "known: adept-v0, adept-v1, simcov, synth:stencil1d") {
 		t.Errorf("unknown-name error should list the registry, got: %v", err)
+	}
+}
+
+// TestRegistryRoundTrip is the discovery guarantee: every listed name
+// builds, and the built workload's own Name resolves back through ByName
+// (for synth workloads the reported name is the fully parameterized
+// canonical form, not the short registry entry).
+func TestRegistryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every registry workload at standard configuration")
+	}
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if !strings.HasPrefix(name, "synth:") {
+			continue // app workloads report display names, not registry keys
+		}
+		w2, err := ByName(w.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q) (canonical of %q): %v", w.Name(), name, err)
+		}
+		if w2.Name() != w.Name() {
+			t.Errorf("canonical name not stable: %q -> %q", w.Name(), w2.Name())
+		}
+	}
+}
+
+// TestSynthNameParsing is the trust-boundary table: good spellings resolve
+// (and cheap Resolve agrees with the expensive ByName on every verdict),
+// bad family names, malformed options, bad seeds and out-of-range or
+// constraint-violating sizes all return descriptive errors.
+func TestSynthNameParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+		want string // substring of the error when !ok
+	}{
+		{"synth:stencil1d", true, ""},
+		{"synth:stencil1d:seed=7", true, ""},
+		{"synth:stencil1d:n=64:seed=7", true, ""}, // keys in any order
+		{"synth:stencil2d:seed=42:n=4096", true, ""},
+		{"synth:matmul:n=32", true, ""},
+		{"synth:", false, "names no family"},
+		{"synth:nope", false, "unknown family"},
+		{"synth:nope", false, "stencil1d"}, // ... and lists the known ones
+		{"synth:stencil1d:seed", false, "want key=value"},
+		{"synth:stencil1d:seed=", false, "want key=value"},
+		{"synth:stencil1d:seed=x", false, "bad seed"},
+		{"synth:stencil1d:seed=-1", false, "bad seed"},
+		{"synth:stencil1d:n=abc", false, "bad size"},
+		{"synth:stencil1d:n=4", false, "outside"},
+		{"synth:stencil1d:n=9999999", false, "outside"},
+		{"synth:stencil1d:seed=1:seed=2", false, "duplicate option"},
+		{"synth:stencil1d:depth=3", false, "unknown option"},
+		{"synth:stencil2d:n=1000", false, "perfect square"},
+		{"synth:matmul:n=36", false, "multiple of 8"},
+	}
+	for _, tc := range cases {
+		rerr := Resolve(tc.name)
+		if tc.ok {
+			if rerr != nil {
+				t.Errorf("Resolve(%q) = %v, want ok", tc.name, rerr)
+			}
+			continue
+		}
+		if rerr == nil || !strings.Contains(rerr.Error(), tc.want) {
+			t.Errorf("Resolve(%q) = %v, want error containing %q", tc.name, rerr, tc.want)
+		}
+		if _, berr := ByName(tc.name); berr == nil || !strings.Contains(berr.Error(), tc.want) {
+			t.Errorf("ByName(%q) = %v, want error containing %q", tc.name, berr, tc.want)
+		}
+	}
+	// Resolve must stay cheap-and-consistent with ByName on good names too.
+	w, err := ByName("synth:scan:seed=9:n=128")
+	if err != nil {
+		t.Fatalf("parameterized synth name failed to build: %v", err)
+	}
+	if got := w.Name(); got != "synth:scan:seed=9:n=128" {
+		t.Errorf("canonical name = %q", got)
+	}
+	if err := Resolve("synth:scan:seed=9:n=128"); err != nil {
+		t.Errorf("Resolve disagrees with ByName: %v", err)
 	}
 }
 

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"gevo/internal/synth"
+)
+
+// Synthetic scenario integration. The synth package generates unbounded,
+// deterministic kernel-family workloads addressed by parseable names
+// (synth:FAMILY[:seed=S][:n=N]); this file wires them into the shared
+// registry so every tool and the serve job API reach them exactly like the
+// two application workloads. synth.Workload satisfies the Workload
+// interface structurally — the synth package sits below this one and never
+// imports it.
+
+// synthNames returns the registry entries for the synthetic families: the
+// short default form of each (seed 1, default size). Fully parameterized
+// names parse through the same path in ByNameWith.
+func synthNames() []string {
+	fams := synth.Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = synth.Prefix + f
+	}
+	return out
+}
+
+// buildSynth parses and generates the scenario addressed by name.
+func buildSynth(name string) (Workload, error) {
+	sp, err := synth.Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.New(sp)
+}
+
+// Canonical returns the canonical spelling of a workload name: synth:
+// names are rewritten to their fully explicit form (every key present,
+// fixed order), so equivalent spellings address the same content (serve
+// keys job identity on the name). Registry names and unparseable names
+// pass through unchanged — Resolve, not Canonical, is the validity check.
+func Canonical(name string) string {
+	if strings.HasPrefix(name, synth.Prefix) {
+		if sp, err := synth.Parse(name); err == nil {
+			return sp.Name()
+		}
+	}
+	return name
+}
+
+// Resolve validates a workload name without constructing the workload (no
+// dataset generation): registry names resolve by membership, synth: names
+// by parsing their spec. This is the cheap check service trust boundaries
+// use before accepting a job.
+func Resolve(name string) error {
+	if strings.HasPrefix(name, synth.Prefix) {
+		_, err := synth.Parse(name)
+		return err
+	}
+	for _, b := range registry {
+		if b.name == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown workload %q (known: %s)", name, CLINames)
+}

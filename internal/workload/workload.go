@@ -12,6 +12,7 @@ import (
 	"gevo/internal/gpu"
 	"gevo/internal/ir"
 	"gevo/internal/kernels"
+	"gevo/internal/synth"
 )
 
 // Workload is one optimizable GPU application. Implementations must be safe
@@ -44,7 +45,9 @@ type Options struct {
 // registry is the single name→constructor table shared by every binary, so
 // the set of names (which checkpoints and serve job specs are keyed on)
 // cannot drift between tools. Standard dataset seeds live here: ADEPT 11,
-// SIMCoV 3.
+// SIMCoV 3. The synthetic families (internal/synth) are appended by init in
+// their short default form; parameterized synth: names parse through the
+// same generator in ByNameWith.
 var registry = []struct {
 	name  string
 	build func(Options) (Workload, error)
@@ -52,6 +55,17 @@ var registry = []struct {
 	{"adept-v0", func(o Options) (Workload, error) { return NewADEPT(kernels.ADEPTV0, o.adept()) }},
 	{"adept-v1", func(o Options) (Workload, error) { return NewADEPT(kernels.ADEPTV1, o.adept()) }},
 	{"simcov", func(o Options) (Workload, error) { return NewSIMCoV(o.simcov()) }},
+}
+
+func init() {
+	for _, name := range synthNames() {
+		name := name
+		registry = append(registry, struct {
+			name  string
+			build func(Options) (Workload, error)
+		}{name, func(Options) (Workload, error) { return buildSynth(name) }})
+	}
+	CLINames = strings.Join(Names(), ", ")
 }
 
 func (o Options) adept() ADEPTOptions {
@@ -85,12 +99,18 @@ var CLINames = strings.Join(Names(), ", ")
 func ByName(name string) (Workload, error) { return ByNameWith(name, Options{}) }
 
 // ByNameWith builds a workload from its registered name with caller-chosen
-// dataset options. Unknown names report the full registry.
+// dataset options. synth: names accept full parameter spellings
+// (synth:FAMILY:seed=S:n=N) beyond the registered defaults; Options does
+// not apply to them (the name itself is the complete configuration).
+// Unknown names report the full registry.
 func ByNameWith(name string, opt Options) (Workload, error) {
 	for _, b := range registry {
 		if b.name == name {
 			return b.build(opt)
 		}
+	}
+	if strings.HasPrefix(name, synth.Prefix) {
+		return buildSynth(name)
 	}
 	return nil, fmt.Errorf("unknown workload %q (known: %s)", name, CLINames)
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Serve smoke test: start gevo-serve, submit two jobs, kill -9 the server
-# mid-run, restart it on the same state directory, and assert both jobs
-# resume and finish with results byte-identical to an uninterrupted run of
-# the same specs (the crash-resume invariant, across real processes).
+# Serve smoke test: start gevo-serve, submit three jobs (two SIMCoV, one
+# generated synth scenario), kill -9 the server mid-run, restart it on the
+# same state directory, and assert every job resumes and finishes with
+# results byte-identical to an uninterrupted run of the same specs (the
+# crash-resume invariant, across real processes).
 #
 # Usage: scripts/serve_smoke.sh [workdir]
 set -euo pipefail
@@ -10,8 +11,9 @@ set -euo pipefail
 WORK="${1:-$(mktemp -d)}"
 ADDR=127.0.0.1:8791
 BASE="http://$ADDR"
-SEEDS=(5 6)
-SUBMIT_ARGS=(-workload simcov -demes 2 -pop 4 -gens 20 -interval 2 -k 1)
+SEEDS=(5 6 9)
+WLS=(simcov simcov "synth:stencil2d:seed=8:n=256")
+SUBMIT_ARGS=(-demes 2 -pop 4 -gens 20 -interval 2 -k 1)
 
 say() { echo "serve_smoke: $*"; }
 die() { say "FAIL: $*"; exit 1; }
@@ -44,8 +46,8 @@ field() { # $1 = json on stdin field name
   python3 -c "import json,sys; print(json.load(sys.stdin)['$1'])"
 }
 
-submit_job() { # $1 = seed → job id on stdout
-  "$WORK/bin/gevo-submit" -server "$BASE" "${SUBMIT_ARGS[@]}" -seed "$1" | field id
+submit_job() { # $1 = seed, $2 = workload → job id on stdout
+  "$WORK/bin/gevo-submit" -server "$BASE" -workload "$2" "${SUBMIT_ARGS[@]}" -seed "$1" | field id
 }
 
 job_state() { "$WORK/bin/gevo-submit" -server "$BASE" -status "$1" | field state; }
@@ -65,7 +67,7 @@ wait_done() { # $1 = job id
 run_uninterrupted() { # $1 = state dir, $2 = result prefix
   start_server "$1"
   local ids=()
-  for s in "${SEEDS[@]}"; do ids+=("$(submit_job "$s")"); done
+  for i in "${!SEEDS[@]}"; do ids+=("$(submit_job "${SEEDS[$i]}" "${WLS[$i]}")"); done
   for i in "${!ids[@]}"; do
     wait_done "${ids[$i]}"
     "$WORK/bin/gevo-submit" -server "$BASE" -result "${ids[$i]}" > "$2.$i.json"
@@ -79,7 +81,7 @@ run_uninterrupted "$WORK/state-ref" "$WORK/ref"
 say "phase 2: run with kill -9 mid-flight"
 start_server "$WORK/state-crash"
 IDS=()
-for s in "${SEEDS[@]}"; do IDS+=("$(submit_job "$s")"); done
+for i in "${!SEEDS[@]}"; do IDS+=("$(submit_job "${SEEDS[$i]}" "${WLS[$i]}")"); done
 for id in "${IDS[@]}"; do
   for _ in $(seq 1 300); do
     gen="$(job_gen "$id")"
@@ -92,7 +94,7 @@ for id in "${IDS[@]}"; do
   st="$(job_state "$id")"
   [ "$st" = running ] || [ "$st" = queued ] || die "job $id already $st before kill"
 done
-say "killing server (kill -9) with jobs at gens: $(job_gen "${IDS[0]}"), $(job_gen "${IDS[1]}")"
+say "killing server (kill -9) with jobs at gens: $(job_gen "${IDS[0]}"), $(job_gen "${IDS[1]}"), $(job_gen "${IDS[2]}")"
 stop_server_hard
 
 say "phase 3: restart and resume"
@@ -108,4 +110,4 @@ for i in "${!IDS[@]}"; do
   diff -u "$WORK/ref.$i.json" "$WORK/resumed.$i.json" \
     || die "job $i: resumed result differs from uninterrupted run"
 done
-say "PASS: both jobs resumed after kill -9 with bit-identical results"
+say "PASS: all jobs resumed after kill -9 with bit-identical results"
