@@ -1,0 +1,21 @@
+// Command gevo-vet runs the repo's determinism static-analysis suite
+// (internal/lint): detsource, detrange, lockguard and allowcheck.
+//
+// Two invocation modes:
+//
+//	gevo-vet ./...                       # standalone: wraps `go vet -vettool=gevo-vet`
+//	go vet -vettool=$(pwd)/gevo-vet ./...  # explicit vettool form (what CI runs)
+//
+// Both analyze every package through the go command's modular vet
+// protocol, so results are build-cached and test files are included.
+// Findings print as file:line:col: message [analyzer]; the exit status is
+// nonzero when anything is found. Suppress a finding with a
+// //gevo:allow <reason> comment on (or immediately above) the flagged
+// line — the reason text is mandatory. See DESIGN.md §8.
+package main
+
+import "gevo/internal/lint"
+
+func main() {
+	lint.Main(lint.Analyzers()...)
+}

@@ -139,7 +139,8 @@ type fitnessEntry struct {
 // result twice.
 type seenShard struct {
 	mu sync.Mutex
-	m  map[string]struct{}
+	// m is the shard's distinct-genome set; guarded by mu.
+	m map[string]struct{}
 }
 
 // shardOf maps a genome key to its shard (FNV-1a).

@@ -41,14 +41,17 @@ type EvalPool struct {
 	// Workload names identify content shape, not datasets: two ADEPT
 	// workloads built with different seeds share a name but must never
 	// share fitness entries.
-	idMu   sync.Mutex
-	ids    map[workload.Workload]string
+	idMu sync.Mutex
+	// ids is the instance -> namespace table; guarded by idMu.
+	ids map[workload.Workload]string
+	// nextID numbers the next namespace; guarded by idMu.
 	nextID int
 }
 
 type poolShard struct {
 	mu sync.Mutex
-	m  map[string]*fitnessEntry
+	// m is the shard's key -> entry table; guarded by mu.
+	m map[string]*fitnessEntry
 }
 
 // NewEvalPool creates a pool bounding concurrent evaluations at workers

@@ -19,6 +19,7 @@ import (
 // CI runs this test by name and fails if it is skipped.
 func TestBackendDifferential(t *testing.T) {
 	defer func(b gpu.Backend) { gpu.DefaultBackend = b }(gpu.DefaultBackend)
+	defer gpu.SetVerifyCompiled(gpu.SetVerifyCompiled(true))
 
 	type wl struct {
 		name string
@@ -51,6 +52,16 @@ func TestBackendDifferential(t *testing.T) {
 	wls = append(wls, wl{"simcov-padded", padded})
 
 	for _, tc := range wls {
+		// The compiled artifact must pass the structural audit before any
+		// backend comparison; the explicit call covers programs an earlier
+		// test may have left in the cache with verification off.
+		prog, err := gpu.Prepare(tc.w.Base())
+		if err != nil {
+			t.Fatalf("%s: prepare failed: %v", tc.name, err)
+		}
+		if err := gpu.VerifyProgram(prog); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
 		for _, arch := range gpu.Architectures {
 			// Reference interpreter first.
 			gpu.DefaultBackend = gpu.BackendInterp
@@ -88,11 +99,19 @@ func TestBackendDifferential(t *testing.T) {
 //
 // CI runs this test by name and fails if it is skipped.
 func TestBackendDifferentialSynth(t *testing.T) {
+	defer gpu.SetVerifyCompiled(gpu.SetVerifyCompiled(true))
 	specs := append(synth.DefaultSuite(), synth.SeedSuite(1002)...)
 	for _, sp := range specs {
 		w, err := synth.New(sp)
 		if err != nil {
 			t.Fatalf("%s: %v", sp.Name(), err)
+		}
+		prog, err := gpu.Prepare(w.Base())
+		if err != nil {
+			t.Fatalf("%s: prepare failed: %v", w.Name(), err)
+		}
+		if err := gpu.VerifyProgram(prog); err != nil {
+			t.Fatalf("%s: %v", w.Name(), err)
 		}
 		for _, arch := range gpu.Architectures {
 			want, wantErr := w.EvaluateBackend(w.Base(), arch, gpu.BackendInterp)

@@ -117,9 +117,11 @@ type programEntry struct {
 }
 
 type programShard struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// items is the shard's key -> entry table; guarded by mu.
 	items map[ModuleKey]*programEntry
-	order []ModuleKey // LRU order, most recently used last
+	// order is the LRU order, most recently used last; guarded by mu.
+	order []ModuleKey
 }
 
 // ProgramCache is a sharded, single-flight, bounded cache of compiled
@@ -148,7 +150,7 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 
 	sh.mu.Lock()
 	if e, ok := sh.items[key]; ok {
-		sh.markUsed(key)
+		sh.markUsedLocked(key)
 		sh.mu.Unlock()
 		<-e.done
 		return e.prog, e.err
@@ -172,14 +174,19 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 		e.err = err
 	} else {
 		e.prog = &Program{Kernels: ks}
+		if verifyCompiled.Load() {
+			if verr := VerifyProgram(e.prog); verr != nil {
+				e.prog, e.err = nil, verr
+			}
+		}
 	}
 	close(e.done)
 	return e.prog, e.err
 }
 
-// markUsed moves the key to the back of the shard's LRU order. Caller holds
-// the shard lock.
-func (sh *programShard) markUsed(key ModuleKey) {
+// markUsedLocked moves the key to the back of the shard's LRU order.
+// Caller holds the shard lock.
+func (sh *programShard) markUsedLocked(key ModuleKey) {
 	for i, k := range sh.order {
 		if k == key {
 			copy(sh.order[i:], sh.order[i+1:])

@@ -172,7 +172,15 @@ type phiEdge struct {
 	// apply is the threaded-code form of the parallel copy (nil when the
 	// edge carries none); see lowerPhiEdge.
 	apply func(c *blockCtx, w *warp, mask uint32)
+	// runs is the merged-memmove plan apply executes on interference-free
+	// edges (nil for snapshot edges). Kept on the edge so VerifyKernel can
+	// cross-check the plan against the copies it claims to realize.
+	runs []regRun
 }
+
+// regRun is one contiguous lane transfer of the merged phi-copy plan:
+// n lanes from extended offset s to extended offset d.
+type regRun struct{ s, d, n int32 }
 
 type cblock struct {
 	name string

@@ -160,8 +160,7 @@ func lowerPhiEdge(edge *phiEdge) {
 	// overlap on such edges — no copy's destination is any copy's source.)
 	sorted := append([]regCopy(nil), prog...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].d < sorted[j].d })
-	type runCopy struct{ s, d, n int32 }
-	var runs []runCopy
+	var runs []regRun
 	for _, cp := range sorted {
 		if len(runs) > 0 {
 			last := &runs[len(runs)-1]
@@ -170,8 +169,9 @@ func lowerPhiEdge(edge *phiEdge) {
 				continue
 			}
 		}
-		runs = append(runs, runCopy{s: cp.s, d: cp.d, n: warpSize})
+		runs = append(runs, regRun{s: cp.s, d: cp.d, n: warpSize})
 	}
+	edge.runs = runs
 
 	edge.apply = func(c *blockCtx, w *warp, mask uint32) {
 		if mask == fullMask {

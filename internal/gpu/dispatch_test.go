@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"gevo/internal/ir"
@@ -267,5 +268,222 @@ func TestDataDependentKernelNotOblivious(t *testing.T) {
 	k2 := mustCompile(t, b2.Finish())
 	if !k2.TimingOblivious() {
 		t.Error("tid-dependent branch with untainted addresses should be oblivious")
+	}
+}
+
+// TestVerifyKernelCatchesCorruption is the mutation test of the compiled-
+// program verifier: the op-soup kernel passes the audit as compiled, and a
+// deliberately broken rewrite of any layer — operand offsets, the uop jump
+// table, escape closures, control targets, phi-copy plans, the shfl
+// zero-init set, def-before-use — is reported, not executed. Each case
+// corrupts a fresh kernel the way a buggy compiler pass would.
+func TestVerifyKernelCatchesCorruption(t *testing.T) {
+	if err := VerifyKernel(mustCompile(t, buildOpSoup())); err != nil {
+		t.Fatalf("pristine kernel rejected: %v", err)
+	}
+
+	// firstUop locates the first uop satisfying the predicate.
+	firstUop := func(k *Kernel, pred func(*uop) bool) *uop {
+		for bi := range k.blocks {
+			for ii := range k.blocks[bi].uops {
+				if u := &k.blocks[bi].uops[ii]; pred(u) {
+					return u
+				}
+			}
+		}
+		return nil
+	}
+
+	cases := []struct {
+		name string
+		// corrupt tampers the kernel; false means it found no site to
+		// corrupt (a test bug, not a verifier pass).
+		corrupt func(k *Kernel) bool
+		want    string
+	}{
+		{
+			name: "operand offset past the register file",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uAdd32 })
+				if u == nil {
+					return false
+				}
+				u.s1 = int32(k.totalSlots * warpSize)
+				return true
+			},
+			want: "outside extended register file",
+		},
+		{
+			name: "operand offset off the warp boundary",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uAdd32 })
+				if u == nil {
+					return false
+				}
+				u.s2++
+				return true
+			},
+			want: "not on a warp boundary",
+		},
+		{
+			name: "branch target out of range",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uCondBr || isFusedCmpBr(u.code) })
+				if u == nil {
+					return false
+				}
+				u.succ1 = int32(len(k.blocks))
+				return true
+			},
+			want: "out of range",
+		},
+		{
+			name: "sibling flag contradicting reconvergence",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uCondBr || isFusedCmpBr(u.code) })
+				if u == nil {
+					return false
+				}
+				u.both = !u.both
+				return true
+			},
+			want: "sibling flag",
+		},
+		{
+			name: "escape uop without its closure",
+			corrupt: func(k *Kernel) bool {
+				for bi := range k.blocks {
+					cb := &k.blocks[bi]
+					for ii := range cb.uops {
+						if cb.uops[ii].code == uEscape {
+							cb.fns[ii] = nil
+							return true
+						}
+					}
+				}
+				return false
+			},
+			want: "escape uop and closure disagree",
+		},
+		{
+			name: "terminator rewritten to a straight-line uop",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uRet })
+				if u == nil {
+					return false
+				}
+				u.code = uAdd32
+				return true
+			},
+			want: "falls off the uop stream",
+		},
+		{
+			name: "cost class past the table",
+			corrupt: func(k *Kernel) bool {
+				u := firstUop(k, func(u *uop) bool { return u.code == uAdd32 })
+				if u == nil {
+					return false
+				}
+				u.cls = numCostClasses
+				return true
+			},
+			want: "cost class out of range",
+		},
+		{
+			name: "phi snapshot flag flipped",
+			corrupt: func(k *Kernel) bool {
+				for bi := range k.blocks {
+					cb := &k.blocks[bi]
+					for ei := range cb.phiFrom {
+						if len(cb.phiFrom[ei].copies) > 0 {
+							cb.phiFrom[ei].snapshot = !cb.phiFrom[ei].snapshot
+							return true
+						}
+					}
+				}
+				return false
+			},
+			want: "snapshot flag",
+		},
+		{
+			name: "phi memmove run sourced from the wrong slot",
+			corrupt: func(k *Kernel) bool {
+				for bi := range k.blocks {
+					cb := &k.blocks[bi]
+					for ei := range cb.phiFrom {
+						if len(cb.phiFrom[ei].runs) > 0 {
+							cb.phiFrom[ei].runs[0].s += warpSize
+							return true
+						}
+					}
+				}
+				return false
+			},
+			want: "not among the edge's copies",
+		},
+		{
+			name: "shfl value slot dropped from clearBases",
+			corrupt: func(k *Kernel) bool {
+				if len(k.clearBases) == 0 {
+					return false
+				}
+				k.clearBases = nil
+				return true
+			},
+			want: "not in clearBases",
+		},
+		{
+			name: "operand redirected to a not-yet-written slot",
+			corrupt: func(k *Kernel) bool {
+				// Point an early operand at the register a *later*
+				// instruction in the same block defines — the shape of a
+				// copy-propagation bug.
+				for bi := range k.blocks {
+					cb := &k.blocks[bi]
+					for ii := range cb.ins {
+						for ai := range cb.ins[ii].args {
+							a := &cb.ins[ii].args[ai]
+							if a.kind != argReg {
+								continue
+							}
+							for jj := ii + 1; jj < len(cb.ins); jj++ {
+								if d := cb.ins[jj].dst; d >= 0 {
+									a.ebase = d * warpSize
+									return true
+								}
+							}
+						}
+					}
+				}
+				return false
+			},
+			want: "read before any dominating write",
+		},
+		{
+			name: "extended fill colliding with another slot",
+			corrupt: func(k *Kernel) bool {
+				if len(k.extConst) == 0 || len(k.extParam) == 0 {
+					return false
+				}
+				k.extParam[0].base = k.extConst[0].base
+				return true
+			},
+			want: "filled twice",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := mustCompile(t, buildOpSoup())
+			if !tc.corrupt(k) {
+				t.Fatal("corruption found no site in the op-soup kernel")
+			}
+			err := VerifyKernel(k)
+			if err == nil {
+				t.Fatal("verifier accepted the corrupted kernel")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("verifier reported %q, want mention of %q", err, tc.want)
+			}
+		})
 	}
 }

@@ -280,3 +280,87 @@ func TestModuleNumInstrs(t *testing.T) {
 		t.Fatalf("sample suspiciously small: %d", m.NumInstrs())
 	}
 }
+
+// TestVerifyPhiIncomingAndStrictness covers the structural checks layered
+// on top of the dominance core: Verify rejects duplicate phi incomings
+// (which would make an edge's parallel copy write one destination twice)
+// while still tolerating unreachable blocks, and VerifyStrict rejects
+// exactly those stranded blocks.
+func TestVerifyPhiIncomingAndStrictness(t *testing.T) {
+	// addOrphan appends a block no terminator branches to.
+	addOrphan := func(f *Function) {
+		f.Blocks = append(f.Blocks, &Block{Name: "orphan", Instrs: []*Instr{
+			{UID: f.NextUID, Op: OpBr, Succs: []string{"exit"}},
+		}})
+		f.NextUID++
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Function)
+		verify func(*Function) error
+		want   string // "" = must pass
+	}{
+		{
+			name:   "strict accepts the fully reachable sample",
+			mutate: func(f *Function) {},
+			verify: (*Function).VerifyStrict,
+		},
+		{
+			name: "duplicate phi incoming rejected",
+			mutate: func(f *Function) {
+				ph := f.BlockByName("loop").Instrs[0]
+				ph.Inc = append(ph.Inc, ph.Inc[0])
+			},
+			verify: (*Function).Verify,
+			want:   "duplicate incoming",
+		},
+		{
+			name: "duplicate incoming with a different value rejected",
+			mutate: func(f *Function) {
+				ph := f.BlockByName("loop").Instrs[0]
+				ph.Inc = append(ph.Inc, Incoming{Block: ph.Inc[0].Block, Val: ConstInt(I32, 7)})
+			},
+			verify: (*Function).Verify,
+			want:   "duplicate incoming",
+		},
+		{
+			name:   "plain verify tolerates an unreachable block",
+			mutate: addOrphan,
+			verify: (*Function).Verify,
+		},
+		{
+			name:   "strict verify rejects an unreachable block",
+			mutate: addOrphan,
+			verify: (*Function).VerifyStrict,
+			want:   "unreachable",
+		},
+		{
+			name: "strict reports the verify failure first",
+			mutate: func(f *Function) {
+				addOrphan(f)
+				f.Blocks[0].Terminator().Succs[0] = "nowhere"
+			},
+			verify: (*Function).VerifyStrict,
+			want:   "unknown block",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := buildSample()
+			tc.mutate(f)
+			err := tc.verify(f)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("should verify: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("verification should fail mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

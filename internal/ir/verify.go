@@ -108,6 +108,16 @@ func (f *Function) Verify() error {
 			}
 			use := Pos{Block: b.Name, Index: i}
 			if in.Op == OpPhi {
+				seenInc := make(map[string]bool, len(in.Inc))
+				for _, inc := range in.Inc {
+					// Duplicate incomings make the edge's parallel copy
+					// write one destination twice — which value wins would
+					// be an artifact of lowering order.
+					if seenInc[inc.Block] {
+						return verifyErr("phi %%%d has duplicate incoming for %q", in.UID, inc.Block)
+					}
+					seenInc[inc.Block] = true
+				}
 				for _, p := range preds[b.Name] {
 					if !dom.Reachable(p) {
 						continue
@@ -136,6 +146,35 @@ func (f *Function) Verify() error {
 					return verifyErr("%%%d (%s) arg %d uses %%%d which does not dominate it", in.UID, in.Op, ai, a.Ref)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// VerifyStrict checks everything Verify does and additionally rejects
+// unreachable blocks. Mutants legitimately strand blocks (a deleted branch
+// orphans the code it guarded), so the engine's viability check stays
+// Verify; strict mode is for sources that promise fully live CFGs — the
+// hand-written kernels and the synth generator — where an unreachable
+// block means a construction bug, not a search step.
+func (m *Module) VerifyStrict() error {
+	for _, f := range m.Funcs {
+		if err := f.VerifyStrict(); err != nil {
+			return fmt.Errorf("kernel %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyStrict checks a single function. See Module.VerifyStrict.
+func (f *Function) VerifyStrict() error {
+	if err := f.Verify(); err != nil {
+		return err
+	}
+	dom := ComputeDom(f)
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.Name) {
+			return verifyErr("block %q is unreachable", b.Name)
 		}
 	}
 	return nil

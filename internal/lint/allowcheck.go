@@ -1,0 +1,16 @@
+package lint
+
+// AllowCheck fails the build on any //gevo:allow comment that does not
+// carry a reason. Suppressions are part of the determinism contract's
+// audit trail: the reason text is what a reviewer (or the DESIGN.md §8
+// policy) evaluates, so an unexplained allow is itself a violation. The
+// check lives in its own analyzer — not inside detsource/detrange — so it
+// covers files no other analyzer happens to visit.
+var AllowCheck = &Analyzer{
+	Name: "allowcheck",
+	Doc:  "require a reason on every //gevo:allow comment",
+	Run: func(pass *Pass) error {
+		pass.reportBadAllows()
+		return nil
+	},
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `range` statements over maps whose loop body leaks the
+// iteration order into something observable: a hash or encoder write, a
+// channel send, an error constructed per entry, an early return mentioning
+// the key or value, or a slice built up in iteration order. Go randomizes
+// map order per run, so every one of these turns a content hash, a
+// checkpoint, a canonical JSON document or a "first error wins" message
+// into a coin flip — exactly the class of bug that only surfaces as a
+// flaky golden test.
+//
+// The fix is always the same: collect the keys, sort them, range over the
+// sorted slice. Building an unordered slice of keys *in order to sort it
+// right after the loop* is the one sanctioned pattern and is recognized,
+// not flagged. Anything else needs //gevo:allow <reason>.
+//
+// DetRange runs module-wide (not just the deterministic packages): order
+// leaking into serve's API responses or a CLI's output is just as much a
+// bug as order leaking into a fitness hash.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc: "flag map ranges whose body writes order-dependent output " +
+		"(hash/encoder writes, channel sends, error construction, early returns, slice building)",
+	Run: runDetRange,
+}
+
+// writeMethods are method names treated as order-sensitive byte/stream
+// sinks regardless of receiver: hashes, buffers and encoders all consume
+// input in call order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true,
+}
+
+// writeFuncs are package-level functions that push bytes at a writer.
+var writeFuncs = map[string]bool{
+	"fmt.Fprintf": true, "fmt.Fprint": true, "fmt.Fprintln": true,
+	"encoding/binary.Write": true,
+}
+
+// errFuncs construct errors; doing so once per map entry makes the winning
+// (or joined) message depend on iteration order.
+var errFuncs = map[string]bool{
+	"fmt.Errorf": true, "errors.New": true,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		// Innermost-enclosing-function bodies, for the sorted-after check.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, innermostBody(bodies, rng))
+			return true
+		})
+	}
+	return nil
+}
+
+// innermostBody returns the smallest function body containing the range.
+func innermostBody(bodies []*ast.BlockStmt, rng *ast.RangeStmt) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= rng.Pos() && rng.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt) {
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			iterVars[o] = true
+		} else if o := pass.TypesInfo.Uses[id]; o != nil {
+			iterVars[o] = true
+		}
+	}
+	usesIterVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	reported := make(map[token.Pos]bool)
+	var flaggedReturns []*ast.ReturnStmt
+	report := func(pos token.Pos, format string, args ...any) {
+		// One finding per statement: a call inside an already-flagged
+		// return would only restate the same leak.
+		for _, r := range flaggedReturns {
+			if pos >= r.Pos() && pos < r.End() {
+				return
+			}
+		}
+		if reported[pos] || pass.Allowed(pos) || pass.Allowed(rng.Pos()) {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "map iteration order leaks: "+format+
+			" (range over sorted keys instead, or //gevo:allow <reason>)", args...)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			report(s.Pos(), "channel send inside map range")
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if usesIterVar(res) {
+					report(s.Pos(), "early return mentions the iteration variable, so which entry wins depends on map order")
+					flaggedReturns = append(flaggedReturns, s)
+					break
+				}
+			}
+		case *ast.CallExpr:
+			q := qualifiedFunc(pass.TypesInfo, s)
+			switch {
+			case writeFuncs[q]:
+				report(s.Pos(), "%s inside map range feeds a writer in iteration order", q)
+			case errFuncs[q]:
+				report(s.Pos(), "%s inside map range constructs errors in iteration order", q)
+			case isWriteMethod(pass.TypesInfo, s):
+				sel := s.Fun.(*ast.SelectorExpr)
+				report(s.Pos(), "%s call inside map range feeds its receiver in iteration order", sel.Sel.Name)
+			}
+		case *ast.AssignStmt:
+			checkOrderedAppend(pass, rng, encl, s, report)
+		}
+		return true
+	})
+}
+
+// isWriteMethod reports whether the call is a method call with an
+// order-sensitive sink name (hash.Write, buf.WriteString, enc.Encode, ...).
+func isWriteMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeMethods[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// checkOrderedAppend flags `x = append(x, ...)` where x outlives the loop,
+// unless x flows into a sort/slices call after the loop — the canonical
+// collect-then-sort idiom stays silent.
+func checkOrderedAppend(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			// A shadowing user-defined append, not the builtin.
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+			continue // loop-local accumulator dies with the iteration
+		}
+		if encl != nil && sortedAfter(pass, encl, rng, obj) {
+			continue
+		}
+		report(as.Pos(), "appends to %s in map-iteration order", lhs.Name)
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices function
+// after the range statement within the enclosing function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		q := qualifiedFunc(pass.TypesInfo, call)
+		if !strings.HasPrefix(q, "sort.") && !strings.HasPrefix(q, "slices.") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetSource forbids nondeterministic sources — the wall clock and the
+// global math/rand generators — inside the deterministic packages: the
+// search engine, the island orchestrator, the IR, the seeded RNG, the
+// synthetic-kernel generator, and the GPU simulator's compile/execute
+// path. Everything those packages compute must be a pure function of
+// (workload, seed, arch): fixed-seed searches are bit-identical, content
+// hashes are stable, and checkpoints resume exactly. A wall-clock read or
+// an unseeded random draw anywhere on that path silently breaks all three.
+//
+// Legitimate uses — bench timing that reports but never influences a
+// result — carry a //gevo:allow <reason> comment on the offending line.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid time.Now/time.Since and math/rand in the deterministic packages " +
+		"(core, island, ir, rng, synth, gpu); suppress with //gevo:allow <reason>",
+	Run: runDetSource,
+}
+
+// detPackages is the determinism scope: fixed-seed reproducibility is a
+// contract of these packages, enforced at compile time. serve and the CLIs
+// are deliberately outside — latency metrics and wall-clock job timestamps
+// are part of their job.
+var detPackages = map[string]bool{
+	"gevo/internal/core":   true,
+	"gevo/internal/island": true,
+	"gevo/internal/ir":     true,
+	"gevo/internal/rng":    true,
+	"gevo/internal/synth":  true,
+	"gevo/internal/gpu":    true,
+}
+
+// detScopeMarker opts a package into the determinism scope from its own
+// source (any file comment `//gevo:deterministic`). New deterministic
+// packages self-declare instead of waiting for an analyzer release; the
+// analyzer's golden tests use the same mechanism.
+const detScopeMarker = "//gevo:deterministic"
+
+// bannedFuncs maps fully qualified callees to the reason they are banned.
+var bannedFuncs = map[string]string{
+	"time.Now":   "wall-clock read",
+	"time.Since": "wall-clock read",
+	"time.Until": "wall-clock read",
+}
+
+// bannedImports are packages whose entire API is nondeterministic (global,
+// unseeded generators). The seeded gevo/internal/rng is the replacement.
+var bannedImports = map[string]string{
+	"math/rand":    "unseeded global RNG; use gevo/internal/rng",
+	"math/rand/v2": "unseeded global RNG; use gevo/internal/rng",
+}
+
+func runDetSource(pass *Pass) error {
+	if !inDetScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, bad := bannedImports[path]; bad && !pass.Allowed(imp.Pos()) {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why, bad := bannedFuncs[qualifiedFunc(pass.TypesInfo, call)]; bad && !pass.Allowed(call.Pos()) {
+				pass.Reportf(call.Pos(), "%s in deterministic package: %s (results must be a pure function of workload, seed and arch)",
+					qualifiedFunc(pass.TypesInfo, call), why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inDetScope reports whether the pass's package is inside the determinism
+// contract, either by import path or by self-declared marker.
+func inDetScope(pass *Pass) bool {
+	if detPackages[pass.Pkg.Path()] {
+		return true
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == detScopeMarker {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package lint
+
+// driver.go implements the modular-analysis protocol that `go vet
+// -vettool=...` speaks, using only the standard library. The protocol (see
+// cmd/go/internal/work.(*Builder).vet) is:
+//
+//	tool -V=full      print an identifying line for the build cache
+//	tool -flags       describe analyzer flags as JSON
+//	tool foo.cfg      analyze the single compilation unit foo.cfg describes
+//
+// The cfg file carries the package's file list plus the compiler-produced
+// export data of every dependency, so the driver can type-check one
+// package without loading anything else from source — the same modular
+// scheme x/tools' unitchecker uses, reimplemented here because the module
+// deliberately has no external dependencies.
+//
+// Invoked with anything other than a cfg file (e.g. `gevo-vet ./...`), the
+// driver re-executes itself through `go vet -vettool=<self>`, which is the
+// supported standalone entry point.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON document cmd/go writes for each vetted
+// package (work.vetConfig). Unused fields are listed for documentation but
+// decode harmlessly when absent.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ModulePath   string
+	ImportMap    map[string]string // import path -> canonical package path
+	PackageFile  map[string]string // package path -> export data file
+	Standard     map[string]bool
+	PackageVetx  map[string]string // package path -> facts file (unused: no facts)
+	VetxOnly     bool              // compute facts only, report nothing
+	VetxOutput   string            // where to write the facts file
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built from this package; cmd/gevo-vet
+// is Main(Analyzers()...). It never returns.
+func Main(analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	switch {
+	case strings.HasPrefix(args[0], "-V"):
+		printVersion()
+		os.Exit(0)
+	case args[0] == "-flags":
+		// No analyzer flags: an empty JSON list tells cmd/go there is
+		// nothing to forward.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0], analyzers))
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+// printVersion implements -V=full: cmd/go keys its vet result cache on this
+// line, so it must change whenever the tool's behavior does — hashing the
+// binary itself guarantees that.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("cannot locate executable: %v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel gevo-vet buildID=%x\n", exe, h.Sum(nil))
+}
+
+// standalone turns `gevo-vet ./...` into `go vet -vettool=<self> ./...`:
+// cmd/go does the build graph work and calls back into this binary once per
+// package with a cfg file.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("cannot locate executable: %v", err)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fatalf("go vet: %v", err)
+	}
+	return 0
+}
+
+// runUnit analyzes the single compilation unit the cfg file describes and
+// returns the process exit code.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// Dependency packages are vetted with VetxOnly to produce fact files.
+	// This suite uses no cross-package facts, so dependency runs only need
+	// the (empty) facts file — skipping the analysis keeps `go vet ./...`
+	// from re-analyzing the entire standard library.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	type finding struct {
+		posn token.Position
+		name string
+		msg  string
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, finding{posn: fset.Position(d.Pos), name: a.Name, msg: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	writeVetx(cfg)
+
+	if len(findings) == 0 {
+		return 0
+	}
+	// Deterministic output order regardless of analyzer internals.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.posn.Filename != b.posn.Filename {
+			return a.posn.Filename < b.posn.Filename
+		}
+		if a.posn.Line != b.posn.Line {
+			return a.posn.Line < b.posn.Line
+		}
+		if a.posn.Column != b.posn.Column {
+			return a.posn.Column < b.posn.Column
+		}
+		return a.msg < b.msg
+	})
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.posn, f.msg, f.name)
+	}
+	return 1
+}
+
+// typecheck type-checks the unit against the export data of its
+// dependencies, exactly as the compiler saw them.
+func typecheck(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	exportImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				path = importPath
+			}
+			return exportImporter.Import(path)
+		}),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeVetx writes the (empty) facts file cmd/go caches for dependency
+// propagation. The suite defines no facts; the file only marks success.
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("gevo-vet facts v1\n"), 0o666); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gevo-vet: "+format+"\n", args...)
+	os.Exit(1)
+}

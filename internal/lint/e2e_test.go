@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolEndToEnd exercises the full modular-analysis protocol: build
+// cmd/gevo-vet, then drive it through a real `go vet -vettool=` run over a
+// scratch module containing one violation of each analyzer. This is the
+// test of driver.go — the -V=full handshake, vet.cfg decoding, export-data
+// importing and diagnostic formatting — which the in-process golden tests
+// bypass.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "gevo-vet")
+	build := exec.Command("go", "build", "-o", bin, "gevo/cmd/gevo-vet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build gevo-vet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(dir, "fixturemod")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module fixturemod\n\ngo 1.21\n",
+		"det.go": `// Package fixturemod has one violation per analyzer.
+//
+//gevo:deterministic
+package fixturemod
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now()
+}
+
+func firstKey(m map[string]int) error {
+	for k := range m {
+		return fmt.Errorf("saw %s", k)
+	}
+	return nil
+}
+
+type guarded struct {
+	mu sync.Mutex
+	// n is the count; guarded by mu.
+	n int
+}
+
+func (g *guarded) peek() int {
+	return g.n
+}
+
+var bare = 1 //gevo:allow
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet accepted a module with violations:\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"time.Now", "[detsource]",
+		"early return mentions the iteration variable", "[detrange]",
+		"guarded.n is guarded by mu", "[lockguard]",
+		"requires a reason", "[allowcheck]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vet output lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden tests run each analyzer in-process over the fixtures under
+// testdata/, matching reported diagnostics against `// want "substring"`
+// comments in the fixture source (the analysistest convention, minus the
+// x/tools dependency). Matching is strict per line: every want must be hit
+// by exactly one diagnostic and every diagnostic must be wanted, so both
+// false negatives and duplicate reports fail.
+
+// stdExport resolves standard-library import paths to compiled export data
+// via `go list -export` (once per test binary). This is the same export
+// data the vettool driver reads from vet.cfg, produced here without a
+// go/packages dependency.
+var stdExport struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func stdExports() (map[string]string, error) {
+	stdExport.once.Do(func() {
+		out, err := exec.Command("go", "list", "-export", "-deps",
+			"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}",
+			"bytes", "errors", "fmt", "math/rand", "os", "sort", "strings", "sync", "time").Output()
+		if err != nil {
+			stdExport.err = fmt.Errorf("go list -export: %w", err)
+			return
+		}
+		stdExport.m = make(map[string]string)
+		for _, line := range strings.Split(string(out), "\n") {
+			if i := strings.IndexByte(line, '='); i > 0 {
+				stdExport.m[line[:i]] = line[i+1:]
+			}
+		}
+	})
+	return stdExport.m, stdExport.err
+}
+
+// loadFixture parses and typechecks every .go file under testdata/<dir> as
+// one package with the given import path (the path matters: detsource
+// scopes by it).
+func loadFixture(t *testing.T, dir, pkgPath string) *Pass {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("fixture %s: %v (%d files)", dir, err, len(paths))
+	}
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p, err)
+		}
+		files = append(files, f)
+	}
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("golden importer: no export data for %q", path)
+		}
+		return os.Open(p)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	return &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantStrRe = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants extracts `// want "..."` expectations, keyed "file:line".
+func collectWants(pass *Pass) map[string][]string {
+	wants := make(map[string][]string)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, s := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+					wants[key] = append(wants[key], s[1])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		dir      string
+		pkgPath  string
+		analyzer *Analyzer
+		// expect overrides in-file wants ("line: substring") for fixtures
+		// where the finding lands on a comment itself (allowcheck).
+		expect []string
+	}{
+		{dir: "detsource", pkgPath: "detfixture", analyzer: DetSource},
+		{dir: "detsource_out", pkgPath: "example.com/serveish", analyzer: DetSource},
+		{dir: "detsource_path", pkgPath: "gevo/internal/core", analyzer: DetSource},
+		{dir: "detrange", pkgPath: "detrangefix", analyzer: DetRange},
+		{dir: "lockguard", pkgPath: "lockfix", analyzer: LockGuard},
+		{dir: "allowcheck", pkgPath: "allowfix", analyzer: AllowCheck,
+			expect: []string{"5: requires a reason"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pass := loadFixture(t, tc.dir, tc.pkgPath)
+			pass.Analyzer = tc.analyzer
+			var got []Diagnostic
+			pass.Report = func(d Diagnostic) { got = append(got, d) }
+			if err := tc.analyzer.Run(pass); err != nil {
+				t.Fatalf("%s: %v", tc.analyzer.Name, err)
+			}
+
+			wants := collectWants(pass)
+			if tc.expect != nil {
+				wants = make(map[string][]string)
+				base := filepath.Base(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+				for _, e := range tc.expect {
+					line, substr, ok := strings.Cut(e, ": ")
+					if !ok {
+						t.Fatalf("bad expect %q", e)
+					}
+					key := base + ":" + line
+					wants[key] = append(wants[key], substr)
+				}
+			}
+
+			diags := make(map[string][]string)
+			for _, d := range got {
+				pos := pass.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				diags[key] = append(diags[key], d.Message)
+			}
+
+			for key, ws := range wants {
+				msgs := diags[key]
+				if len(msgs) != len(ws) {
+					t.Errorf("%s: want %d finding(s) %q, got %d: %q", key, len(ws), ws, len(msgs), msgs)
+					continue
+				}
+				matched := make([]bool, len(msgs))
+				for _, w := range ws {
+					hit := false
+					for i, msg := range msgs {
+						if !matched[i] && strings.Contains(msg, w) {
+							matched[i], hit = true, true
+							break
+						}
+					}
+					if !hit {
+						t.Errorf("%s: no finding matches %q among %q", key, w, msgs)
+					}
+				}
+			}
+			for key, msgs := range diags {
+				if _, ok := wants[key]; !ok {
+					t.Errorf("%s: unwanted finding(s): %q", key, msgs)
+				}
+			}
+		})
+	}
+}

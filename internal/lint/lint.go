@@ -1,0 +1,167 @@
+// Package lint is the determinism static-analysis toolkit: a minimal
+// go/analysis-style framework (Analyzer, Pass, Diagnostic) plus the custom
+// analyzers that machine-check the repo's determinism contract — no wall
+// clock or math/rand on the search path (detsource), no map-iteration
+// order leaking into hashes, encoders, errors or channels (detrange), and
+// mutex-guarded state never touched without its lock (lockguard).
+//
+// The framework is deliberately self-contained: it depends only on the
+// standard library (go/ast, go/types, go/parser), so the repo needs no
+// golang.org/x/tools dependency. driver.go implements the modular-analysis
+// protocol `go vet -vettool=...` speaks, which is how cmd/gevo-vet runs
+// these analyzers over every package of the module in CI.
+//
+// Findings are suppressed — one at a time, never wholesale — with an
+//
+//	//gevo:allow <reason>
+//
+// comment on the flagged line or the line above it. The reason text is
+// mandatory: an allow comment without one is itself a diagnostic, so every
+// suppression in the tree explains itself. See DESIGN.md §8 for the full
+// contract.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools
+// go/analysis Analyzer shape so the checks could migrate to the real
+// framework wholesale if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `gevo-vet help`.
+	Doc string
+	// Run executes the check over one package and reports findings through
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver applies //gevo:allow
+	// suppression before printing, so analyzers report unconditionally.
+	Report func(Diagnostic)
+
+	// allow maps "file:line" to the allow comment governing that line, built
+	// lazily from the pass's files.
+	allow map[string]*allowComment
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowComment is one parsed //gevo:allow marker.
+type allowComment struct {
+	pos    token.Pos
+	reason string
+	used   bool
+}
+
+var allowRe = regexp.MustCompile(`^//\s*gevo:allow(.*)$`)
+
+// buildAllowIndex scans every comment in the pass for //gevo:allow markers.
+// A marker governs its own line and the line below it (so it can trail the
+// flagged statement or sit on its own line above it).
+func (p *Pass) buildAllowIndex() {
+	if p.allow != nil {
+		return
+	}
+	p.allow = make(map[string]*allowComment)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				ac := &allowComment{pos: c.Pos(), reason: strings.TrimSpace(m[1])}
+				pos := p.Fset.Position(c.Pos())
+				p.allow[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = ac
+				p.allow[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = ac
+			}
+		}
+	}
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed by a
+// //gevo:allow comment, marking the comment used. Allow comments without a
+// reason never suppress anything — the driver reports them separately.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	p.buildAllowIndex()
+	posn := p.Fset.Position(pos)
+	ac, ok := p.allow[fmt.Sprintf("%s:%d", posn.Filename, posn.Line)]
+	if !ok || ac.reason == "" {
+		return false
+	}
+	ac.used = true
+	return true
+}
+
+// reportBadAllows reports every allow comment with an empty reason. The
+// reason requirement is enforced here, by the framework, so no analyzer can
+// forget it: an unexplained //gevo:allow fails the build by itself.
+func (p *Pass) reportBadAllows() {
+	p.buildAllowIndex()
+	seen := make(map[*allowComment]bool)
+	for _, ac := range p.allow {
+		if ac.reason == "" && !seen[ac] {
+			seen[ac] = true
+			p.Report(Diagnostic{Pos: ac.pos, Message: "//gevo:allow requires a reason (//gevo:allow <why this is exempt>)"})
+		}
+	}
+}
+
+// isTestFile reports whether the file at pos is a _test.go file. Test code
+// may time things and randomize freely; the determinism contract covers the
+// search path only.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// qualifiedFunc resolves a call expression to "pkgpath.FuncName" for
+// package-level functions (e.g. "time.Now", "math/rand.Int"). It returns
+// "" for methods, locals and builtins.
+func qualifiedFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return ""
+	}
+	// Methods have a receiver; package-level functions do not.
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// Analyzers returns the full determinism suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetSource, DetRange, LockGuard, AllowCheck}
+}

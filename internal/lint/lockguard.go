@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the `// guarded by <mu>` field-comment convention:
+// a struct field carrying that comment may only be touched by functions
+// that visibly hold the named mutex. A function "visibly holds" the mutex
+// if its body contains a <recv>.<mu>.Lock() or .RLock() call, or if its
+// name ends in "Locked" (the convention for helpers whose callers hold the
+// lock). Accesses through a struct the function itself just built (and so
+// cannot be shared yet) are exempt, as are _test.go files.
+//
+// The check is lexical, not path-sensitive: it proves "this function at
+// least thinks about the lock", not that every interleaving is safe — the
+// race detector owns that half. What it catches at compile time is the
+// common refactoring accident: a new method reaching into guarded state
+// with no locking discipline at all.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "require functions touching a '// guarded by <mu>' field to lock <mu>, " +
+		"carry a Locked name suffix, or //gevo:allow <reason>",
+	Run: runLockGuard,
+}
+
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+type guardInfo struct {
+	mu         string // sibling mutex field name
+	structName string // for diagnostics
+}
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every struct field whose doc or trailing comment
+// says "guarded by <mu>", validating that the named mutex is a sibling
+// field of the same struct.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := make(map[*types.Var]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				comment := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardRe.FindStringSubmatch(comment)
+				if m == nil {
+					continue
+				}
+				if !siblings[m[1]] {
+					pass.Reportf(field.Pos(), "field comment names guard %q but struct %s has no such field", m[1], ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{mu: m[1], structName: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkFunc verifies every guarded-field access inside one function.
+func checkFunc(pass *Pass, fd *ast.FuncDecl, guards map[*types.Var]guardInfo) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	locked := lockedMutexes(fd.Body)
+	local := locallyBuilt(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gi, guarded := guards[v]
+		if !guarded || locked[gi.mu] {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil && local[pass.TypesInfo.ObjectOf(root)] {
+			return true // freshly built in this function, not yet shared
+		}
+		if pass.Allowed(sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s does not lock it "+
+			"(hold %s, use a ...Locked helper, or //gevo:allow <reason>)",
+			gi.structName, v.Name(), gi.mu, fd.Name.Name, gi.mu)
+		return true
+	})
+}
+
+// lockedMutexes returns the set of mutex field names the function body
+// Lock()s or RLock()s anywhere.
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		case *ast.Ident:
+			locked[recv.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// locallyBuilt returns objects assigned from a composite literal or new()
+// inside the function: structs that cannot be shared with other goroutines
+// yet, so their guarded fields are freely accessible.
+func locallyBuilt(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	local := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch r := rhs.(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if r.Op != token.AND {
+				return
+			}
+			if _, lit := r.X.(*ast.CompositeLit); !lit {
+				return
+			}
+		case *ast.CallExpr:
+			if f, ok := r.Fun.(*ast.Ident); !ok || f.Name != "new" || pass.TypesInfo.Uses[f] != nil {
+				return
+			}
+		default:
+			return
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			local[o] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i := range as.Lhs {
+			if i < len(as.Rhs) {
+				record(as.Lhs[i], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// rootIdent walks a selector chain x.y.z down to its leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

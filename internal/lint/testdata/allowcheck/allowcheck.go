@@ -1,0 +1,6 @@
+// Package allowfix exercises the framework's reason requirement: a bare
+// //gevo:allow is itself a finding, a reasoned one is not.
+package allowfix
+
+var a = 1 //gevo:allow
+var b = 2 //gevo:allow reasons make every suppression self-documenting

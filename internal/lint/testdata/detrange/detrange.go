@@ -1,0 +1,84 @@
+// Package detrangefix exercises the detrange analyzer: every way a map
+// range can leak iteration order, plus the sanctioned patterns that must
+// stay silent.
+package detrangefix
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+func hashWrite(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "feeds its receiver in iteration order"
+	}
+}
+
+func fprint(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want "feeds a writer in iteration order"
+	}
+}
+
+func sendKeys(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map range"
+	}
+}
+
+func firstBad(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			// One finding, not two: the fmt.Errorf inside the flagged
+			// return must not be reported again.
+			return fmt.Errorf("bad %s: %d", k, v) // want "early return mentions the iteration variable"
+		}
+	}
+	return nil
+}
+
+func collectErrs(m map[string]int) []error {
+	var errs []error
+	for k := range m {
+		err := fmt.Errorf("entry %s", k) // want "constructs errors in iteration order"
+		errs = append(errs, err)         // want "appends to errs in map-iteration order"
+	}
+	return errs
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: unordered append
+// into a slice that flows to sort right after the loop stays silent.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perEntry appends only to a loop-local accumulator that dies with the
+// iteration: nothing outlives an entry, nothing to flag.
+func perEntry(m map[string]int) int {
+	n := 0
+	for k := range m {
+		parts := []byte{}
+		parts = append(parts, k...)
+		n += len(parts)
+	}
+	return n
+}
+
+// sliceRange iterates a slice: deterministic order, out of scope.
+func sliceRange(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+func allowedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //gevo:allow fixture: delivery order not observable to subscribers
+	}
+}

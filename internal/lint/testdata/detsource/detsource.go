@@ -1,0 +1,23 @@
+// Package detfixture exercises detsource on a package that opts into the
+// determinism scope via the self-declared marker rather than its path.
+//
+//gevo:deterministic
+package detfixture
+
+import (
+	"math/rand" // want "unseeded global RNG"
+	"time"
+)
+
+func draw() int {
+	return rand.Int()
+}
+
+func clock() time.Duration {
+	start := time.Now()      // want "wall-clock read"
+	return time.Since(start) // want "wall-clock read"
+}
+
+func allowed() time.Time {
+	return time.Now() //gevo:allow fixture: timing is reported, never feeds a result
+}

@@ -1,0 +1,7 @@
+// Package serveish is outside the determinism scope: no marker and no
+// listed import path, so wall-clock reads are its own business.
+package serveish
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

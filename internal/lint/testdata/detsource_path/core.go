@@ -1,0 +1,10 @@
+// Package core stands in for gevo/internal/core: the golden test
+// typechecks it under that import path, so the scope decision comes from
+// the analyzer's package list, not from a marker comment.
+package core
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read"
+}

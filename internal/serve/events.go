@@ -9,7 +9,8 @@ import "sync"
 // server handler does for them by replaying the current status on
 // subscribe.
 type hub struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// subs is the live subscriber set; guarded by mu.
 	subs map[*subscriber]struct{}
 }
 
@@ -53,7 +54,7 @@ func (h *hub) publish(ev Event) {
 			continue
 		}
 		select {
-		case s.ch <- ev:
+		case s.ch <- ev: //gevo:allow each subscriber owns a private channel; cross-subscriber delivery order is unobservable
 		default:
 			delete(h.subs, s)
 			close(s.ch)

@@ -69,17 +69,23 @@ type Manager struct {
 	// workloads shares one instance per registered name across jobs, so
 	// the pool's per-instance cache namespace deduplicates evaluations
 	// across every job on that workload.
-	wlMu      sync.Mutex
+	wlMu sync.Mutex
+	// workloads is the name -> shared instance table; guarded by wlMu.
 	workloads map[string]workload.Workload
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order; the round-robin ring
+	mu sync.Mutex
+	// jobs is the job table; guarded by mu.
+	jobs map[string]*job
+	// order is submission order, the round-robin ring; guarded by mu.
+	order []string
+	// cursor is the ring position of the next slice; guarded by mu.
 	cursor int
-	cache  *resultCache
+	// cache is the completed-job LRU; guarded by mu.
+	cache *resultCache
+	// closed marks a shut-down manager; guarded by mu.
 	closed bool
 	// pendingRemove queues pruned jobs' state directories for deletion by
-	// the persister (disk work never happens under mu).
+	// the persister (disk work never happens under mu); guarded by mu.
 	pendingRemove []string
 
 	wake  chan struct{}
@@ -141,6 +147,11 @@ func (m *Manager) recover() error {
 	if err != nil {
 		return err
 	}
+	// Open calls recover before any executor or persister goroutine exists,
+	// but the table invariants are simplest stated unconditionally: all
+	// access under mu.
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, lj := range jobs {
 		j := &job{
 			id: lj.ID, key: lj.Key, spec: lj.Spec,

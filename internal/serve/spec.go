@@ -119,9 +119,16 @@ func (s *JobSpec) Validate() error {
 	if s.Generations > 100000 {
 		return fmt.Errorf("serve: %d generations exceeds the per-job limit of 100000", s.Generations)
 	}
-	for name, r := range map[string]*float64{"mutation_rate": s.MutationRate, "crossover_rate": s.CrossoverRate} {
-		if r != nil && (*r < 0 || *r > 1) {
-			return fmt.Errorf("serve: %s %v outside [0,1]", name, *r)
+	// A fixed-order slice, not a map: with both rates invalid, which error
+	// a caller sees must not depend on map iteration order (the error text
+	// is part of the API surface and of golden tests).
+	rates := []struct {
+		name string
+		r    *float64
+	}{{"mutation_rate", s.MutationRate}, {"crossover_rate", s.CrossoverRate}}
+	for _, c := range rates {
+		if c.r != nil && (*c.r < 0 || *c.r > 1) {
+			return fmt.Errorf("serve: %s %v outside [0,1]", c.name, *c.r)
 		}
 	}
 	return nil

@@ -46,6 +46,9 @@ func FuzzBackendDifferential(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s: construction failed: %v", sp.Name(), err)
 		}
+		if err := gpu.VerifyProgram(w.baseProg); err != nil {
+			t.Fatalf("%s: compiled-program verification failed: %v", w.Name(), err)
+		}
 		want, err := w.EvaluateBackend(w.Base(), gpu.P100, gpu.BackendInterp)
 		if err != nil {
 			t.Fatalf("%s: interp evaluation failed: %v", w.Name(), err)

@@ -106,11 +106,11 @@ func timeEvals(w *Workload, arch *gpu.Arch, b gpu.Backend, evals int) float64 {
 	if _, err := w.EvaluateBackend(w.Base(), arch, b); err != nil {
 		return 0
 	}
-	start := time.Now()
+	start := time.Now() //gevo:allow bench timing: reported in gauntlet output, never feeds fitness or search state
 	for i := 0; i < evals; i++ {
 		if _, err := w.EvaluateBackend(w.Base(), arch, b); err != nil {
 			return 0
 		}
 	}
-	return float64(time.Since(start).Microseconds()) / 1000 / float64(evals)
+	return float64(time.Since(start).Microseconds()) / 1000 / float64(evals) //gevo:allow bench timing: reported in gauntlet output, never feeds fitness or search state
 }

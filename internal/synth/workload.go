@@ -78,7 +78,9 @@ func New(sp Spec) (*Workload, error) {
 	}
 	sc := f.build(sp, sp.shapeRng())
 	m := &ir.Module{Name: sp.Name(), Funcs: []*ir.Function{sc.fn}, Source: sc.source}
-	if err := m.Verify(); err != nil {
+	// Strict verification: a generator has no business emitting unreachable
+	// blocks, unlike a mutant (for which plain Verify tolerates them).
+	if err := m.VerifyStrict(); err != nil {
 		return nil, fmt.Errorf("synth: generated module %s fails verification: %w", sp.Name(), err)
 	}
 	w := &Workload{spec: sp, sc: sc, base: m}
