@@ -6,31 +6,131 @@
 // Usage:
 //
 //	gevo-analyze [-junk 10]
+//
+// With -lineage it instead runs a search and prints the best-improvement
+// provenance chain — for each generation that set a new best-ever fitness,
+// the operator that produced the improver, the mutated edit and site, the
+// parent genome hash, and the fitness delta — followed by a per-operator
+// aggregation (how much of the final speedup each operator contributed):
+//
+//	gevo-analyze -lineage -workload adept-v1 -arch P100 -pop 32 -gens 40 -seed 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/workload"
 
 	"gevo/internal/experiments"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gevo-analyze:", err)
+	os.Exit(1)
+}
+
 func main() {
 	junk := flag.Int("junk", 10, "neutral bloat edits to add before minimization")
+	lineage := flag.Bool("lineage", false, "run a search and print its best-improvement lineage instead of the minimization pipeline")
+	wl := flag.String("workload", "adept-v1", "workload for -lineage: "+workload.CLINames)
+	archName := flag.String("arch", "P100", "GPU for -lineage: "+strings.Join(gpu.ArchNames(), ", "))
+	pop := flag.Int("pop", 32, "population size for -lineage")
+	gens := flag.Int("gens", 40, "generations for -lineage")
+	seed := flag.Uint64("seed", 1, "search seed for -lineage")
+	workers := flag.Int("workers", 0, "parallel fitness evaluations for -lineage (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *lineage {
+		runLineage(*wl, *archName, *pop, *gens, *seed, *workers)
+		return
+	}
 
 	rep, err := experiments.MinimizeDemo(experiments.Full, *junk)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gevo-analyze:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println(rep)
 
 	rep, err = experiments.Fig7(experiments.Full)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gevo-analyze:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Println(rep)
+}
+
+// runLineage runs the configured search and prints the provenance of every
+// best-improvement: a chronological table, then a per-operator summary of
+// counts and accumulated fitness gain.
+func runLineage(wl, archName string, pop, gens int, seed uint64, workers int) {
+	arch, err := gpu.ResolveArch(archName)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		fatal(err)
+	}
+	eng := core.NewEngine(w, core.Config{
+		Pop: pop, Generations: gens, Seed: seed, Arch: arch, Workers: workers,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		fatal(err)
+	}
+	lin := res.History.Lineage
+	fmt.Printf("search lineage: %s on %s, pop %d x %d generations, seed %d\n",
+		w.Name(), arch.Name, pop, gens, seed)
+	fmt.Printf("base %.4f ms, best %.4f ms (%.3fx), %d best-improvements\n\n",
+		res.BaseFitness, res.Best.Fitness, res.Speedup, len(lin))
+	if len(lin) == 0 {
+		fmt.Println("no improvement over the base program")
+		return
+	}
+
+	fmt.Printf("%4s  %-19s  %-22s  %-12s  %10s  %9s  %8s  %5s\n",
+		"gen", "op", "mutation", "parent", "best_ms", "delta_ms", "speedup", "edits")
+	for _, l := range lin {
+		mut := l.Kind
+		if l.Site != "" {
+			mut = l.Kind + "@" + l.Site
+		}
+		if mut == "" {
+			mut = "-"
+		}
+		parent := l.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		fmt.Printf("%4d  %-19s  %-22s  %-12s  %10.4f  %9.4f  %7.3fx  %5d\n",
+			l.Gen, l.Op, mut, parent, l.BestMs, l.DeltaMs, l.Speedup, l.Edits)
+	}
+
+	// Per-operator aggregation over the improvement chain. Iterate the
+	// chain (not a map) so the rows come out in first-seen order.
+	type agg struct {
+		n     int
+		delta float64
+	}
+	byOp := map[string]*agg{}
+	var order []string
+	for _, l := range lin {
+		a, ok := byOp[l.Op]
+		if !ok {
+			a = &agg{}
+			byOp[l.Op] = a
+			order = append(order, l.Op)
+		}
+		a.n++
+		a.delta += l.DeltaMs
+	}
+	fmt.Printf("\nper-operator contribution:\n")
+	for _, op := range order {
+		a := byOp[op]
+		fmt.Printf("  %-19s  %3d improvements, %9.4f ms total gain\n", op, a.n, a.delta)
+	}
 }

@@ -35,6 +35,7 @@ import (
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
+	"gevo/internal/obs"
 	"gevo/internal/serve"
 	"gevo/internal/serve/client"
 	"gevo/internal/synth"
@@ -181,22 +182,51 @@ func benchSimulator(name string, w workload.Workload, evals int) (benchResult, e
 	if err != nil {
 		return benchResult{}, err
 	}
+	// Snapshot the backend's global instruments around the threaded run so
+	// the report carries steady-state cache effectiveness, not absolutes
+	// polluted by whatever ran before.
+	gpuBefore := gpuCounters()
 	threadedMs, err := measure(gpu.BackendThreaded)
 	if err != nil {
 		return benchResult{}, err
 	}
+	gpuAfter := gpuCounters()
 	return benchResult{
 		Name:   name,
 		WallMs: threadedMs * float64(evals),
 		Metrics: map[string]float64{
-			"evals":              float64(evals),
-			"interp_ms_per_eval": interpMs,
-			"ms_per_eval":        threadedMs,
-			"ns_per_eval":        threadedMs * 1e6,
-			"evals_per_sec":      1000 / threadedMs,
-			"speedup_vs_interp":  interpMs / threadedMs,
+			"evals":                  float64(evals),
+			"interp_ms_per_eval":     interpMs,
+			"ms_per_eval":            threadedMs,
+			"ns_per_eval":            threadedMs * 1e6,
+			"evals_per_sec":          1000 / threadedMs,
+			"speedup_vs_interp":      interpMs / threadedMs,
+			"program_cache_hit_rate": hitRate(gpuAfter.progHits-gpuBefore.progHits, gpuAfter.progMisses-gpuBefore.progMisses),
+			"uniform_memo_hit_rate":  hitRate(gpuAfter.memoHits-gpuBefore.memoHits, gpuAfter.memoTimed-gpuBefore.memoTimed),
 		},
 	}, nil
+}
+
+// gpuCounterSample holds one reading of the backend-wide cache counters.
+type gpuCounterSample struct {
+	progHits, progMisses, memoHits, memoTimed float64
+}
+
+func gpuCounters() gpuCounterSample {
+	return gpuCounterSample{
+		progHits:   obs.Default.Value("gevo_gpu_program_cache_hits_total"),
+		progMisses: obs.Default.Value("gevo_gpu_program_cache_misses_total"),
+		memoHits:   obs.Default.Value("gevo_gpu_memo_hits_total"),
+		memoTimed:  obs.Default.Value("gevo_gpu_memo_timed_total"),
+	}
+}
+
+// hitRate is hits/(hits+misses), 0 when the pair never fired.
+func hitRate(hits, misses float64) float64 {
+	if hits+misses <= 0 {
+		return 0
+	}
+	return hits / (hits + misses)
 }
 
 // coreSuite runs the simulator-core benchmarks behind BENCH_core.json: the
@@ -227,7 +257,54 @@ func coreSuite(evals int) ([]benchResult, error) {
 		fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.2f ms/eval (%.2fx vs interp)\n",
 			r.Name, r.Metrics["ms_per_eval"], r.Metrics["speedup_vs_interp"])
 	}
+	cache, err := benchCacheHealth()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, cache)
+	fmt.Fprintf(os.Stderr, "gevo-bench: %-22s fitness %.2f, program %.2f, memo %.2f hit rate\n",
+		cache.Name, cache.Metrics["fitness_cache_hit_rate"],
+		cache.Metrics["program_cache_hit_rate"], cache.Metrics["uniform_memo_hit_rate"])
 	return out, nil
+}
+
+// benchCacheHealth runs a small search against an explicit evaluation pool
+// and reports the three cache hit rates of the evaluation path: the
+// single-flight fitness cache (pool), the compiled-program cache and the
+// uniform-launch memo (backend counters from the obs registry). Cache decay
+// here flags perf regressions that ns/op alone can hide — a slower hash, a
+// key that stopped matching — before they show up as wall time.
+func benchCacheHealth() (benchResult, error) {
+	w, err := workload.NewADEPT(kernels.ADEPTV0, workload.ADEPTOptions{
+		Seed: 11, FitPairs: 1, HoldoutPairs: 1, RefLen: 48, QueryLen: 32,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	pool := core.NewEvalPool(0)
+	gpuBefore := gpuCounters()
+	eng := core.NewEngine(w, core.Config{
+		Pop: 12, Generations: 8, Seed: 1, Arch: gpu.P100,
+		CrossoverRate: 0.8, MutationRate: 0.5, Pool: pool,
+	})
+	start := time.Now()
+	if _, err := eng.Run(); err != nil {
+		return benchResult{}, err
+	}
+	wall := time.Since(start)
+	gpuAfter := gpuCounters()
+	ps := pool.Stats()
+	return benchResult{
+		Name:   "search_cache_health",
+		WallMs: float64(wall.Microseconds()) / 1000,
+		Metrics: map[string]float64{
+			"fitness_cache_hits":     float64(ps.CacheHits),
+			"fitness_cache_misses":   float64(ps.Completed),
+			"fitness_cache_hit_rate": hitRate(float64(ps.CacheHits), float64(ps.Completed)),
+			"program_cache_hit_rate": hitRate(gpuAfter.progHits-gpuBefore.progHits, gpuAfter.progMisses-gpuBefore.progMisses),
+			"uniform_memo_hit_rate":  hitRate(gpuAfter.memoHits-gpuBefore.memoHits, gpuAfter.memoTimed-gpuBefore.memoTimed),
+		},
+	}, nil
 }
 
 // serveSuite is a load-style benchmark of the search-as-a-service layer:

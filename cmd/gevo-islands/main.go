@@ -28,6 +28,7 @@ import (
 	"gevo/internal/core"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
+	"gevo/internal/obs"
 	"gevo/internal/workload"
 )
 
@@ -111,6 +112,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	traceOut := flag.String("trace", "", "write the event journal to this file (.jsonl = JSON lines, else Chrome trace_event for Perfetto)")
 	listWorkloads := flag.Bool("list-workloads", false, "print the registered workload names and exit")
 	flag.Parse()
 
@@ -132,6 +134,12 @@ func main() {
 	}
 	if *resume == "" && *demes < 1 {
 		fatal(fmt.Errorf("-demes must be at least 1, got %d", *demes))
+	}
+
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector(nil, 0)
+		gpu.SetSink(col)
 	}
 
 	var s *island.Search
@@ -178,6 +186,10 @@ func main() {
 		}
 	}
 
+	if col != nil {
+		s.AttachSink(col)
+	}
+
 	start := time.Now()
 	for !s.Done() {
 		s.StepRound()
@@ -198,6 +210,20 @@ func main() {
 	}
 	wall := time.Since(start)
 	res := s.Result()
+
+	if col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := col.WriteTo(f, *traceOut); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	validated := false
 	var vErr error

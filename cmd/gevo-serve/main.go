@@ -40,6 +40,7 @@ func main() {
 	executors := flag.Int("executors", 2, "jobs advancing a slice concurrently")
 	cacheSize := flag.Int("cache", 64, "LRU result-cache capacity")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if b, err := gpu.ParseBackend(*backend); err != nil {
@@ -59,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewServer(m)}
+	srv := &http.Server{Handler: serve.NewServerWith(m, serve.ServerOptions{EnablePprof: *enablePprof})}
 	fmt.Fprintf(os.Stderr, "gevo-serve: listening on http://%s (state: %s)\n", ln.Addr(), stateDesc(*dir))
 
 	done := make(chan error, 1)

@@ -20,6 +20,7 @@ import (
 
 	"gevo/internal/core"
 	"gevo/internal/gpu"
+	"gevo/internal/obs"
 	"gevo/internal/workload"
 )
 
@@ -53,6 +54,7 @@ func main() {
 	validate := flag.Bool("validate", true, "run held-out validation on the best variant")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON result on stdout")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
+	traceOut := flag.String("trace", "", "write the event journal to this file (.jsonl = JSON lines, else Chrome trace_event for Perfetto)")
 	listWorkloads := flag.Bool("list-workloads", false, "print the registered workload names and exit")
 	flag.Parse()
 
@@ -83,9 +85,17 @@ func main() {
 		fmt.Printf("GEVO search: %s on %s, pop %d x %d generations, seed %d\n",
 			w.Name(), arch.Name, *pop, *gens, *seed)
 	}
+	var col *obs.Collector
+	var sink obs.Sink
+	if *traceOut != "" {
+		col = obs.NewCollector(nil, 0)
+		sink = col
+		gpu.SetSink(col)
+	}
 	eng := core.NewEngine(w, core.Config{
 		Pop: *pop, Generations: *gens, Seed: *seed, Arch: arch,
 		MutationRate: *mut, CrossoverRate: *cross, Workers: *workers,
+		Sink: sink,
 	})
 	start := time.Now()
 	res, err := eng.Run()
@@ -94,6 +104,13 @@ func main() {
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+
+	if col != nil {
+		if err := writeTrace(col, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gevo:", err)
+			os.Exit(1)
+		}
+	}
 
 	validated := false
 	var vErr error
@@ -142,4 +159,18 @@ func main() {
 	if *validate && vErr != nil {
 		os.Exit(1)
 	}
+}
+
+// writeTrace flushes the collector's journal to path, picking the format
+// from the file extension (.jsonl = JSON lines, else Chrome trace_event).
+func writeTrace(col *obs.Collector, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := col.WriteTo(f, path); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

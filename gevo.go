@@ -28,6 +28,7 @@ import (
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
+	"gevo/internal/obs"
 	"gevo/internal/serve"
 	"gevo/internal/synth"
 	"gevo/internal/workload"
@@ -276,3 +277,42 @@ var Dependencies = analysis.Dependencies
 
 // Variant clones a workload's base module and applies a genome.
 var Variant = core.Variant
+
+// Observability re-exports (internal/obs, DESIGN.md §9): a dependency-free
+// metrics registry with Prometheus text exposition, a deterministic trace
+// sink the search layers emit typed events into, and a flight-recorder
+// collector that stamps wall clocks, keeps a bounded journal and exports
+// JSONL or Chrome trace_event (Perfetto). Search results are bit-identical
+// with or without a sink attached.
+type (
+	// MetricsRegistry names, creates and snapshots metric instruments.
+	MetricsRegistry = obs.Registry
+	// TraceSink receives typed events; a nil sink is a no-op everywhere.
+	TraceSink = obs.Sink
+	// TraceEvent is one emitted event (type plus ordered attributes).
+	TraceEvent = obs.Event
+	// TraceAttr is one event attribute (string key/value).
+	TraceAttr = obs.Attr
+	// TraceCollector is the flight recorder: it stamps, journals and
+	// exports events and aggregates compile-span histograms.
+	TraceCollector = obs.Collector
+	// TraceRecord is one journaled event with sequence and wall-clock.
+	TraceRecord = obs.Record
+	// LineageEntry is the provenance of one best-ever improvement.
+	LineageEntry = core.LineageEntry
+)
+
+// DefaultMetrics is the process-global metrics registry (backend counters
+// register here; cmd tools and tests read it).
+var DefaultMetrics = obs.Default
+
+// NewMetricsRegistry creates an empty, private metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// NewTraceCollector creates a flight recorder journaling into reg (nil =
+// DefaultMetrics) with the given ring capacity (<=0 = default).
+var NewTraceCollector = obs.NewCollector
+
+// WithTraceAttrs returns a sink that stamps fixed attributes onto every
+// event before forwarding (nil inner stays nil).
+var WithTraceAttrs = obs.WithAttrs

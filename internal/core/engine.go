@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"gevo/internal/gpu"
+	"gevo/internal/obs"
 	"gevo/internal/rng"
 	"gevo/internal/workload"
 )
@@ -47,6 +47,14 @@ type Config struct {
 	// worker budget with cross-engine deduplication. Nil gives the engine a
 	// private pool of Workers workers.
 	Pool *EvalPool `json:"-"`
+	// Sink receives trace events (engine.gen per generation, engine.best on
+	// each best-ever improvement). Nil disables tracing. Payloads are
+	// deterministic in (workload, seed, arch); the sink only observes, so
+	// search results are bit-identical with or without one (DESIGN.md §9).
+	Sink obs.Sink `json:"-"`
+	// SinkID tags this engine's events (island searches label each deme);
+	// empty is fine for solo engines.
+	SinkID string `json:"-"`
 }
 
 // DefaultConfig returns the paper's search parameters (Section III-E).
@@ -166,11 +174,13 @@ type Engine struct {
 	evals atomic.Int64
 
 	// Steppable search state. pop is unevaluated right after Init and
-	// evaluated+sorted after every Step.
+	// evaluated+sorted after every Step. provs parallels pop with breeding
+	// provenance (lineage.go) and is permuted identically on every sort.
 	inited bool
 	gen    int
 	base   float64
 	pop    []Individual
+	provs  []prov
 	hist   *History
 }
 
@@ -260,10 +270,12 @@ func (e *Engine) Init() error {
 	e.base = base
 	e.hist = NewHistory(base)
 	e.pop = make([]Individual, e.cfg.Pop)
+	e.provs = make([]prov, e.cfg.Pop)
 	for i := range e.pop {
 		if ed, ok := RandomEdit(e.w.Base(), e.r); ok {
 			e.pop[i].Genome = []Edit{ed}
 		}
+		e.provs[i] = prov{op: "init", parent: "base", parentMs: base}
 	}
 	e.gen = 0
 	e.inited = true
@@ -273,26 +285,40 @@ func (e *Engine) Init() error {
 // breed produces the next generation from the current evaluated, sorted
 // population: elitism, then tournament selection with crossover and
 // mutation. All randomness draws from the engine's single RNG stream, so
-// the sequence is deterministic in the seed.
-func (e *Engine) breed() []Individual {
+// the sequence is deterministic in the seed. Alongside each offspring it
+// records breeding provenance (parents, operator, mutation site) — pure
+// bookkeeping with no RNG draws of its own.
+func (e *Engine) breed() ([]Individual, []prov) {
 	next := make([]Individual, 0, e.cfg.Pop)
+	provs := make([]prov, 0, e.cfg.Pop)
 	// Elitism: the paper retains the four best individuals.
 	for i := 0; i < e.cfg.Elite && i < len(e.pop); i++ {
 		next = append(next, Individual{Genome: append([]Edit(nil), e.pop[i].Genome...)})
+		provs = append(provs, prov{op: "elite", parent: hashGenome(e.pop[i].Genome), parentMs: e.pop[i].Fitness})
 	}
 	for len(next) < e.cfg.Pop {
 		p1 := e.tournament(e.pop)
 		genome := append([]Edit(nil), p1.Genome...)
+		pr := prov{parent: hashGenome(p1.Genome), parentMs: p1.Fitness}
+		crossed := false
 		if e.r.Float64() < e.cfg.CrossoverRate {
 			p2 := e.tournament(e.pop)
 			genome = Crossover(p1.Genome, p2.Genome, e.r)
+			pr.parent2 = hashGenome(p2.Genome)
+			crossed = true
 		}
+		mutated := false
 		if e.r.Float64() < e.cfg.MutationRate {
+			pre := genome
 			genome = Mutate(e.w.Base(), genome, e.r)
+			pr.kind, pr.site = mutationDiff(pre, genome)
+			mutated = true
 		}
+		pr.op = opName(crossed, mutated)
 		next = append(next, Individual{Genome: genome})
+		provs = append(provs, pr)
 	}
-	return next
+	return next, provs
 }
 
 // Step advances the search by gens generations. Each generation breeds from
@@ -307,13 +333,72 @@ func (e *Engine) Step(gens int) {
 	}
 	for i := 0; i < gens; i++ {
 		if e.gen > 0 {
-			e.pop = e.breed()
+			e.pop, e.provs = e.breed()
 		}
 		e.gen++
 		e.evaluateAll(e.pop)
-		sort.SliceStable(e.pop, func(i, j int) bool { return e.pop[i].Fitness < e.pop[j].Fitness })
-		e.hist.Record(e.gen, e.pop)
+		e.sortPop()
+		prevBest := e.hist.bestFitness
+		idx := e.hist.Record(e.gen, e.pop)
+		if idx >= 0 {
+			entry := e.lineageEntry(idx, prevBest)
+			e.hist.AddLineage(entry)
+			e.emitBest(entry)
+		}
+		e.emitGen()
 	}
+}
+
+// emit sends one trace event when a sink is configured, tagging it with
+// the engine's identity.
+func (e *Engine) emit(typ string, attrs []obs.Attr) {
+	if e.cfg.Sink == nil {
+		return
+	}
+	if e.cfg.SinkID != "" {
+		attrs = append([]obs.Attr{obs.A("id", e.cfg.SinkID)}, attrs...)
+	}
+	e.cfg.Sink.Emit(obs.Event{Type: typ, Attrs: attrs})
+}
+
+// emitGen reports the generation summary just recorded. Emitted from the
+// serial Step path, so one engine's event sequence is deterministic.
+func (e *Engine) emitGen() {
+	if e.cfg.Sink == nil {
+		return
+	}
+	rec := e.hist.Records[len(e.hist.Records)-1]
+	e.emit("engine.gen", []obs.Attr{
+		obs.AI("gen", int64(rec.Gen)),
+		obs.AF("best_ms", rec.BestFitness),
+		obs.AF("mean_ms", rec.MeanFitness),
+		obs.AF("valid_frac", rec.ValidFrac),
+		obs.AF("speedup", speedupOf(e.base, e.hist.BestEver())),
+		obs.AI("evals", e.evals.Load()),
+	})
+}
+
+// emitBest reports a best-ever improvement with its lineage.
+func (e *Engine) emitBest(l LineageEntry) {
+	e.emit("engine.best", []obs.Attr{
+		obs.AI("gen", int64(l.Gen)),
+		obs.AF("best_ms", l.BestMs),
+		obs.AF("speedup", l.Speedup),
+		obs.AF("delta_ms", l.DeltaMs),
+		obs.A("op", l.Op),
+		obs.A("kind", l.Kind),
+		obs.A("site", l.Site),
+		obs.A("parent", l.Parent),
+		obs.AF("parent_ms", l.ParentMs),
+		obs.AI("edits", int64(l.Edits)),
+	})
+}
+
+// SetSink installs (or clears) the trace sink on a live engine — the
+// restore path, where the checkpoint cannot carry one. The sink only
+// observes, so attaching it never perturbs the resumed search.
+func (e *Engine) SetSink(s obs.Sink, id string) {
+	e.cfg.Sink, e.cfg.SinkID = s, id
 }
 
 // Generation returns the number of generations completed.
@@ -377,15 +462,18 @@ func (e *Engine) Inject(migrants []Individual) {
 	if n > len(e.pop) {
 		n = len(e.pop)
 	}
+	e.ensureProvs()
 	tail := e.pop[len(e.pop)-n:]
+	provTail := e.provs[len(e.provs)-n:]
 	for i := 0; i < n; i++ {
 		tail[i] = Individual{Genome: append([]Edit(nil), migrants[i].Genome...)}
+		provTail[i] = prov{op: "migrant", parent: hashGenome(migrants[i].Genome), parentMs: migrants[i].Fitness}
 	}
 	if e.gen == 0 {
 		return
 	}
 	e.evaluateAll(tail)
-	sort.SliceStable(e.pop, func(i, j int) bool { return e.pop[i].Fitness < e.pop[j].Fitness })
+	e.sortPop()
 }
 
 // Result summarizes the search so far (valid after Init).

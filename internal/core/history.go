@@ -19,11 +19,55 @@ type GenRecord struct {
 	BestGenome []Edit
 }
 
+// LineageEntry is the provenance of one best-ever improvement: which
+// breeding path produced the improver, which edit was the mutation, whose
+// genome it descended from, and what it bought — the per-run answer to the
+// paper's headline question of *which operators* produced the speedup.
+// Every field is deterministic in (workload, seed, arch), so lineage rides
+// in checkpoints and job results without weakening their byte-identity
+// contracts.
+type LineageEntry struct {
+	// Gen is the generation the improvement appeared in.
+	Gen int
+	// Op is the breeding path: "init" (seed population), "clone"
+	// (tournament copy), "crossover", "mutation", "crossover+mutation",
+	// "elite" or "migrant".
+	Op string
+	// Kind names the newest edit's operator when mutation added one
+	// (delete/copy/move/swap/replace-instr/replace-operand, or a
+	// "drop-"-prefixed kind when mutation removed an edit); empty when the
+	// improver's genome was not edited this generation.
+	Kind string
+	// Site locates the mutation as "func/%uid" of the target instruction.
+	Site string
+	// Parent is a short content hash of the primary parent's genome
+	// ("base" for the seed population); Parent2 the crossover partner.
+	Parent  string
+	Parent2 string
+	// ParentMs is the primary parent's fitness (+Inf for an invalid
+	// parent — improvements out of invalid lineage are real and worth
+	// recording).
+	ParentMs float64
+	// BestMs is the new best fitness; PrevBestMs the best-ever before it;
+	// DeltaMs the improvement (PrevBestMs - BestMs, always positive).
+	BestMs     float64
+	PrevBestMs float64
+	DeltaMs    float64
+	// Speedup is base fitness over BestMs.
+	Speedup float64
+	// Edits is the improver's genome length.
+	Edits int
+}
+
 // History accumulates per-generation records of one search run.
 type History struct {
 	// Base is the unmodified program's fitness.
 	Base    float64
 	Records []GenRecord
+	// Lineage records the provenance of each best-ever improvement, in
+	// discovery order. It is filled by the engine (which knows breeding
+	// provenance); direct History users just see it empty.
+	Lineage []LineageEntry
 
 	bestFitness float64
 	bestGenome  []Edit
@@ -34,8 +78,11 @@ func NewHistory(base float64) *History {
 	return &History{Base: base, bestFitness: base}
 }
 
-// Record appends a generation summary; pop must be sorted by fitness.
-func (h *History) Record(gen int, pop []Individual) {
+// Record appends a generation summary; pop must be sorted by fitness. It
+// returns the population index of the individual that set a new best-ever
+// fitness, or -1 when the generation did not improve — the hook the engine
+// uses to attach breeding provenance (AddLineage).
+func (h *History) Record(gen int, pop []Individual) int {
 	rec := GenRecord{Gen: gen, BestFitness: math.Inf(1)}
 	var sum float64
 	var valid int
@@ -54,11 +101,13 @@ func (h *History) Record(gen int, pop []Individual) {
 	if len(pop) > 0 {
 		rec.ValidFrac = float64(valid) / float64(len(pop))
 	}
+	improved := -1
 	if rec.BestFitness < h.bestFitness {
 		h.bestFitness = rec.BestFitness
 		for i := range pop {
 			if pop[i].Fitness == rec.BestFitness {
 				h.bestGenome = append([]Edit(nil), pop[i].Genome...)
+				improved = i
 				break
 			}
 		}
@@ -66,7 +115,11 @@ func (h *History) Record(gen int, pop []Individual) {
 		rec.BestGenome = append([]Edit(nil), h.bestGenome...)
 	}
 	h.Records = append(h.Records, rec)
+	return improved
 }
+
+// AddLineage appends one provenance entry (discovery order).
+func (h *History) AddLineage(e LineageEntry) { h.Lineage = append(h.Lineage, e) }
 
 // BestEver returns the best individual observed across all generations.
 func (h *History) BestEver() Individual {

@@ -5,9 +5,9 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"gevo/internal/gpu"
+	"gevo/internal/obs"
 	"gevo/internal/workload"
 )
 
@@ -29,13 +29,14 @@ type EvalPool struct {
 	sem    chan struct{}
 	shards [fitnessShards]poolShard
 
-	// Instrumentation gauges/counters, read via Stats. They never influence
-	// scheduling or results; an orchestrator (internal/serve) samples them
-	// for load reporting.
-	queued    atomic.Int64
-	inFlight  atomic.Int64
-	completed atomic.Int64
-	hits      atomic.Int64
+	// Instrumentation gauges/counters (obs instruments, so Register can
+	// attach them to a metrics registry), read via Stats. They never
+	// influence scheduling or results; an orchestrator (internal/serve)
+	// samples them for load reporting.
+	queued    obs.Gauge
+	inFlight  obs.Gauge
+	completed obs.Counter
+	hits      obs.Counter
 
 	// ids assigns each workload *instance* a distinct cache namespace.
 	// Workload names identify content shape, not datasets: two ADEPT
@@ -107,11 +108,30 @@ type PoolStats struct {
 func (p *EvalPool) Stats() PoolStats {
 	return PoolStats{
 		Workers:    cap(p.sem),
-		QueueDepth: int(p.queued.Load()),
-		InFlight:   int(p.inFlight.Load()),
-		Completed:  p.completed.Load(),
-		CacheHits:  p.hits.Load(),
+		QueueDepth: int(p.queued.Value()),
+		InFlight:   int(p.inFlight.Value()),
+		Completed:  p.completed.Value(),
+		CacheHits:  p.hits.Value(),
 	}
+}
+
+// Register attaches the pool's instruments to a metrics registry under the
+// standard gevo_pool_* names. Engines create private pools freely, so
+// pools never auto-register; the owner of the long-lived shared pool (an
+// island ring, a serve manager) opts it into a registry. Re-registering a
+// different pool under the same names replaces the attachment (obs's
+// last-registration-wins contract).
+func (p *EvalPool) Register(r *obs.Registry) {
+	r.GaugeFunc("gevo_pool_workers", "Evaluation pool concurrency bound.",
+		func() float64 { return float64(cap(p.sem)) })
+	r.GaugeFunc("gevo_pool_queue_depth", "Evaluations waiting for a worker slot.",
+		func() float64 { return float64(p.queued.Value()) })
+	r.GaugeFunc("gevo_pool_in_flight", "Simulations running right now.",
+		func() float64 { return float64(p.inFlight.Value()) })
+	r.CounterFunc("gevo_pool_evals_completed_total", "Simulations finished (cache misses; each distinct key simulates once).",
+		func() float64 { return float64(p.completed.Value()) })
+	r.CounterFunc("gevo_pool_cache_hits_total", "Evaluations served from the single-flight fitness cache.",
+		func() float64 { return float64(p.hits.Value()) })
 }
 
 // evaluate returns the fitness for the key, computing it via fn at most

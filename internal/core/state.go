@@ -77,13 +77,32 @@ type GenRecordState struct {
 	BestGenome  []Edit   `json:"best_genome,omitempty"`
 }
 
+// LineageEntryState mirrors LineageEntry with a JSON-safe parent fitness
+// (an invalid parent is legitimately +Inf).
+type LineageEntryState struct {
+	Gen        int      `json:"gen"`
+	Op         string   `json:"op"`
+	Kind       string   `json:"kind,omitempty"`
+	Site       string   `json:"site,omitempty"`
+	Parent     string   `json:"parent,omitempty"`
+	Parent2    string   `json:"parent2,omitempty"`
+	ParentMs   InfFloat `json:"parent_ms"`
+	BestMs     float64  `json:"best_ms"`
+	PrevBestMs float64  `json:"prev_best_ms"`
+	DeltaMs    float64  `json:"delta_ms"`
+	Speedup    float64  `json:"speedup"`
+	Edits      int      `json:"edits"`
+}
+
 // HistoryState is the serialized form of a History, including the running
-// best tracked in unexported fields.
+// best tracked in unexported fields. Lineage is omitted when empty, so
+// pre-lineage checkpoints round-trip unchanged.
 type HistoryState struct {
-	Base        InfFloat         `json:"base"`
-	BestFitness InfFloat         `json:"best_fitness"`
-	BestGenome  []Edit           `json:"best_genome,omitempty"`
-	Records     []GenRecordState `json:"records"`
+	Base        InfFloat            `json:"base"`
+	BestFitness InfFloat            `json:"best_fitness"`
+	BestGenome  []Edit              `json:"best_genome,omitempty"`
+	Records     []GenRecordState    `json:"records"`
+	Lineage     []LineageEntryState `json:"lineage,omitempty"`
 }
 
 // State captures the history for checkpointing.
@@ -103,6 +122,15 @@ func (h *History) State() HistoryState {
 			NewBest:     r.NewBest,
 			BestGenome:  append([]Edit(nil), r.BestGenome...),
 		}
+	}
+	for _, l := range h.Lineage {
+		st.Lineage = append(st.Lineage, LineageEntryState{
+			Gen: l.Gen, Op: l.Op, Kind: l.Kind, Site: l.Site,
+			Parent: l.Parent, Parent2: l.Parent2,
+			ParentMs: InfFloat(l.ParentMs), BestMs: l.BestMs,
+			PrevBestMs: l.PrevBestMs, DeltaMs: l.DeltaMs,
+			Speedup: l.Speedup, Edits: l.Edits,
+		})
 	}
 	return st
 }
@@ -124,6 +152,15 @@ func HistoryFromState(st HistoryState) *History {
 			NewBest:     r.NewBest,
 			BestGenome:  append([]Edit(nil), r.BestGenome...),
 		}
+	}
+	for _, l := range st.Lineage {
+		h.Lineage = append(h.Lineage, LineageEntry{
+			Gen: l.Gen, Op: l.Op, Kind: l.Kind, Site: l.Site,
+			Parent: l.Parent, Parent2: l.Parent2,
+			ParentMs: float64(l.ParentMs), BestMs: l.BestMs,
+			PrevBestMs: l.PrevBestMs, DeltaMs: l.DeltaMs,
+			Speedup: l.Speedup, Edits: l.Edits,
+		})
 	}
 	return h
 }

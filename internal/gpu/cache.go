@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gevo/internal/ir"
+	"gevo/internal/obs"
 )
 
 // The compiled-program cache: the front end of the fast evaluation pipeline.
@@ -152,6 +153,10 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 	if e, ok := sh.items[key]; ok {
 		sh.markUsedLocked(key)
 		sh.mu.Unlock()
+		metricProgramHits.Inc()
+		if s := sink(); s != nil {
+			s.Emit(obs.Event{Type: "gpu.cache.hit", Attrs: []obs.Attr{obs.A("module", moduleAttr(key))}})
+		}
 		<-e.done
 		return e.prog, e.err
 	}
@@ -168,6 +173,11 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 	}
 	sh.mu.Unlock()
 
+	metricProgramMisses.Inc()
+	s := sink()
+	if s != nil {
+		s.Emit(obs.Event{Type: "gpu.compile.begin", Attrs: []obs.Attr{obs.A("module", moduleAttr(key))}})
+	}
 	if err := m.Verify(); err != nil {
 		e.err = err
 	} else if ks, err := CompileAll(m); err != nil {
@@ -179,6 +189,13 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 				e.prog, e.err = nil, verr
 			}
 		}
+	}
+	if s != nil {
+		ok := "1"
+		if e.err != nil {
+			ok = "0"
+		}
+		s.Emit(obs.Event{Type: "gpu.compile.end", Attrs: []obs.Attr{obs.A("module", moduleAttr(key)), obs.A("ok", ok)}})
 	}
 	close(e.done)
 	return e.prog, e.err

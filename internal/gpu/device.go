@@ -74,6 +74,7 @@ func AcquireDeviceWithMem(arch *Arch, capacity int) *Device {
 	if v := poolFor(capacity).Get(); v != nil {
 		d := v.(*Device)
 		d.Arch = arch
+		metricDeviceReuse.Inc()
 		return d
 	}
 	return NewDeviceWithMem(arch, capacity)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"gevo/internal/ir"
+	"gevo/internal/obs"
 )
 
 // LaunchConfig describes one kernel launch: the grid geometry (1-D, as in
@@ -124,7 +125,16 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	var memoCycles float64
 	if threaded && k.oblivious {
 		memoCycles, replay = d.memoGet(k, d.Arch, &cfg)
+		if replay {
+			metricMemoHits.Inc()
+			if s := sink(); s != nil {
+				s.Emit(obs.Event{Type: "gpu.memo.hit", Attrs: []obs.Attr{obs.A("kernel", k.Name)}})
+			}
+		} else {
+			metricMemoTimed.Inc()
+		}
 	}
+	metricLaunches.Inc()
 
 	nwarps := (cfg.Block + warpSize - 1) / warpSize
 	stride := k.totalSlots * warpSize

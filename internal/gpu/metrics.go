@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"encoding/hex"
+	"sync/atomic"
+
+	"gevo/internal/obs"
+)
+
+// Simulator-wide instrumentation. The program cache and the uniform-launch
+// memo are process-global, so their counters register once in the default
+// registry; trace events go to an injectable package-level sink (nil by
+// default — the deterministic fast path pays one atomic load).
+//
+// Determinism: counters and events only observe. Note that memo hits and
+// device recycling depend on sync.Pool retention and goroutine scheduling,
+// so those *counts* are not reproducible run to run — only search results
+// are. DESIGN.md §9 spells out which event streams are deterministic.
+var (
+	metricProgramHits   = obs.Default.Counter("gevo_gpu_program_cache_hits_total", "Program-cache hits: evaluations served a previously compiled module.")
+	metricProgramMisses = obs.Default.Counter("gevo_gpu_program_cache_misses_total", "Program-cache misses: verify+compile runs (including failed verifies).")
+	metricMemoHits      = obs.Default.Counter("gevo_gpu_memo_hits_total", "Uniform-launch memo hits: timing-oblivious launches replayed functionally.")
+	metricMemoTimed     = obs.Default.Counter("gevo_gpu_memo_timed_total", "Uniform-launch memo misses: timing-oblivious launches that ran fully timed.")
+	metricLaunches      = obs.Default.Counter("gevo_gpu_launches_total", "Kernel launches simulated.")
+	metricDeviceReuse   = obs.Default.Counter("gevo_gpu_device_reuse_total", "Devices recycled from the per-capacity free pool instead of allocated.")
+)
+
+// sinkBox wraps the sink so atomic.Value always stores one concrete type.
+type sinkBox struct{ s obs.Sink }
+
+var sinkVal atomic.Value // of sinkBox
+
+// SetSink installs the package trace sink (nil disables). Events carry
+// only deterministic payloads — module content hashes and kernel names —
+// so a process-global sink is safe; their *interleaving* across concurrent
+// evaluations is scheduling-dependent.
+func SetSink(s obs.Sink) { sinkVal.Store(sinkBox{s: s}) }
+
+// sink returns the installed sink or nil.
+func sink() obs.Sink {
+	if b, ok := sinkVal.Load().(sinkBox); ok {
+		return b.s
+	}
+	return nil
+}
+
+// moduleAttr renders a module key as a short stable identifier.
+func moduleAttr(key ModuleKey) string { return hex.EncodeToString(key[:6]) }

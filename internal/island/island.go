@@ -24,6 +24,7 @@ import (
 
 	"gevo/internal/core"
 	"gevo/internal/gpu"
+	"gevo/internal/obs"
 	"gevo/internal/rng"
 	"gevo/internal/workload"
 )
@@ -72,6 +73,13 @@ type Config struct {
 	// worker budget with cross-search single-flight. Workers is ignored
 	// when Pool is set; the pool's own budget governs.
 	Pool *core.EvalPool `json:"-"`
+	// Sink receives trace events: each deme's engine events tagged with
+	// its ring position ("deme0"…), plus island.migrate at every
+	// migration barrier. Nil disables tracing; the sink only observes, so
+	// results are bit-identical either way. Events from different demes
+	// interleave scheduling-dependently; each deme's own subsequence is
+	// deterministic (DESIGN.md §9).
+	Sink obs.Sink `json:"-"`
 }
 
 // fill normalizes the configuration, mirroring core.Config.fill.
@@ -106,6 +114,8 @@ func (c *Config) demeConfig(i int, seed uint64, pool *core.EvalPool) core.Config
 	cfg.Generations = c.Generations
 	cfg.Workers = c.Workers
 	cfg.Pool = pool
+	cfg.Sink = c.Sink
+	cfg.SinkID = demeID(i)
 	if i < len(c.Overrides) {
 		o := c.Overrides[i]
 		if o.Arch != nil {
@@ -120,6 +130,9 @@ func (c *Config) demeConfig(i int, seed uint64, pool *core.EvalPool) core.Config
 	}
 	return cfg
 }
+
+// demeID labels deme i's trace events.
+func demeID(i int) string { return fmt.Sprintf("deme%d", i) }
 
 // demeSeeds derives one independent seed per deme from the master seed.
 func demeSeeds(master uint64, n int) []uint64 {
@@ -267,6 +280,25 @@ func (s *Search) migrate() {
 	}
 	s.each(func(i int, d *core.Engine) { d.Inject(emigrants[(i-1+n)%n]) })
 	s.migrations++
+	// Emitted from the serial barrier, so migration events are strictly
+	// ordered against each deme's own generation events.
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Event{Type: "island.migrate", Attrs: []obs.Attr{
+			obs.AI("gen", int64(s.gen)),
+			obs.AI("round", int64(s.migrations)),
+			obs.AI("size", int64(s.cfg.MigrationSize)),
+		}})
+	}
+}
+
+// AttachSink installs (or clears) a trace sink on a live search and its
+// demes — the restore path, where the checkpoint cannot carry one, and the
+// orchestrator path, where serve tags each job's events with its identity.
+func (s *Search) AttachSink(sink obs.Sink) {
+	s.cfg.Sink = sink
+	for i, d := range s.demes {
+		d.SetSink(sink, demeID(i))
+	}
 }
 
 // Progress is a cheap point-in-time summary of a running search — the

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCollectorJournalAndSeq(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(r, 4)
+	for i := 0; i < 6; i++ {
+		c.Emit(Event{Type: "e", Attrs: []Attr{AI("i", int64(i))}})
+	}
+	recs := c.Records()
+	if len(recs) != 4 {
+		t.Fatalf("journal holds %d records, want 4 (bounded ring)", len(recs))
+	}
+	// Oldest two were overwritten; the survivors are 2..5 in sequence order.
+	for i, rec := range recs {
+		if want := uint64(i + 2); rec.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d", i, rec.Seq, want)
+		}
+		if rec.WallNs == 0 {
+			t.Fatalf("record %d missing wall-clock stamp", i)
+		}
+	}
+	if v := r.Value("gevo_trace_events_total"); v != 6 {
+		t.Fatalf("events_total = %g, want 6", v)
+	}
+	if v := r.Value("gevo_trace_events_dropped_total"); v != 2 {
+		t.Fatalf("events_dropped_total = %g, want 2", v)
+	}
+}
+
+func TestCollectorCompilePairing(t *testing.T) {
+	r := NewRegistry()
+	c := NewCollector(r, 16)
+	c.Emit(Event{Type: "gpu.compile.begin", Attrs: []Attr{A("module", "m1")}})
+	c.Emit(Event{Type: "gpu.compile.end", Attrs: []Attr{A("module", "m1"), A("ok", "1")}})
+	// An unmatched end must not observe anything.
+	c.Emit(Event{Type: "gpu.compile.end", Attrs: []Attr{A("module", "m2"), A("ok", "1")}})
+
+	var found bool
+	for _, s := range r.Snapshot() {
+		if s.Name == "gevo_gpu_compile_seconds" {
+			found = true
+			if s.Count != 1 {
+				t.Fatalf("compile histogram count = %d, want 1", s.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("gevo_gpu_compile_seconds missing from snapshot")
+	}
+}
+
+func TestCollectorExports(t *testing.T) {
+	c := NewCollector(NewRegistry(), 16)
+	c.Emit(Event{Type: "engine.gen", Attrs: []Attr{A("id", "deme0"), AI("gen", 1), AF("speedup", 1.25)}})
+	c.Emit(Event{Type: "gpu.compile.begin", Attrs: []Attr{A("module", "m")}})
+	c.Emit(Event{Type: "gpu.compile.end", Attrs: []Attr{A("module", "m"), A("ok", "1")}})
+
+	var jl strings.Builder
+	if err := c.WriteJSONL(&jl); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(jl.String()))
+	lines := 0
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", lines)
+	}
+
+	var ct strings.Builder
+	if err := c.WriteChromeTrace(&ct); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(ct.String()), &evs); err != nil {
+		t.Fatalf("Chrome trace is not a JSON array: %v", err)
+	}
+	// engine.gen instant + its speedup counter + one compile "X" slice.
+	phases := map[string]int{}
+	for _, e := range evs {
+		phases[e["ph"].(string)]++
+	}
+	if phases["i"] != 1 || phases["C"] != 1 || phases["X"] != 1 {
+		t.Fatalf("phases = %v, want 1 instant, 1 counter, 1 slice", phases)
+	}
+}
+
+func TestWithAttrs(t *testing.T) {
+	c := NewCollector(NewRegistry(), 8)
+	s := WithAttrs(c, A("job", "j1"))
+	s.Emit(Event{Type: "x", Attrs: []Attr{AI("gen", 3)}})
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("journal has %d records, want 1", len(recs))
+	}
+	if got := attrValue(recs[0].Attrs, "job"); got != "j1" {
+		t.Fatalf("job attr = %q, want j1", got)
+	}
+	if got := attrValue(recs[0].Attrs, "gen"); got != "3" {
+		t.Fatalf("gen attr = %q, want 3", got)
+	}
+	if WithAttrs(nil, A("a", "b")) != nil {
+		t.Fatalf("WithAttrs(nil) must stay nil (no-op sink)")
+	}
+}

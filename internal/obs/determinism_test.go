@@ -1,0 +1,108 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gevo/internal/core"
+	"gevo/internal/gpu"
+	"gevo/internal/obs"
+	"gevo/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden event-sequence file")
+
+// testWorkload is a small synth scenario: fast to evaluate, oracle-verified
+// at construction, and bit-reproducible in the seed like everything else.
+const testWorkload = "synth:stencil1d:seed=1:n=32"
+
+func searchConfig(sink obs.Sink) core.Config {
+	return core.Config{
+		Pop: 8, Generations: 6, Seed: 3, Arch: gpu.P100,
+		MutationRate: 0.5, CrossoverRate: 0.8,
+		Sink: sink, SinkID: "solo",
+	}
+}
+
+func runSearch(t *testing.T, sink obs.Sink) *core.EngineState {
+	t.Helper()
+	w, err := workload.ByName(testWorkload)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	eng := core.NewEngine(w, searchConfig(sink))
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return st
+}
+
+// TestSinkBitIdentity pins the determinism contract: the complete search
+// state after a fixed-seed run — population, RNG position, history,
+// lineage — is byte-identical with a collector attached and with no sink
+// at all. Tracing observes; it never participates.
+func TestSinkBitIdentity(t *testing.T) {
+	col := obs.NewCollector(obs.NewRegistry(), 1024)
+	withSink := runSearch(t, col)
+	without := runSearch(t, nil)
+
+	a, err := json.Marshal(withSink)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(without)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("fixed-seed search state differs with sink attached:\nwith:    %s\nwithout: %s", a, b)
+	}
+	if len(col.Records()) == 0 {
+		t.Fatalf("collector journaled no events — sink was not wired through")
+	}
+}
+
+// TestGoldenEventSequence pins the deterministic event stream itself: a
+// solo engine emits its events from serial Step code, so with wall-clock
+// stamps zeroed the JSONL journal of a fixed-seed run is a golden artifact.
+// Regenerate with `go test ./internal/obs/ -run Golden -update` after an
+// intentional taxonomy or search-behaviour change.
+func TestGoldenEventSequence(t *testing.T) {
+	col := obs.NewCollector(obs.NewRegistry(), 1024)
+	runSearch(t, col)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range col.Records() {
+		rec.WallNs = 0 // the one nondeterministic field, stamped by the collector
+		if err := enc.Encode(rec); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "events_stencil1d_seed3.jsonl")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("event sequence diverged from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

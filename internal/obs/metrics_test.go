@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatalf("second registration returned a different counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	if v := r.Value("c_total"); v != 5 {
+		t.Fatalf("Value(c_total) = %g, want 5", v)
+	}
+	if v := r.Value("nope"); v != 0 {
+		t.Fatalf("Value(unknown) = %g, want 0", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestFuncInstrumentsLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("fn", "", func() float64 { return 1 })
+	r.GaugeFunc("fn", "", func() float64 { return 2 })
+	if v := r.Value("fn"); v != 2 {
+		t.Fatalf("Value(fn) = %g, want 2 (last registration wins)", v)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 106.5 {
+		t.Fatalf("sum = %g, want 106.5", got)
+	}
+	r := NewRegistry()
+	r.Histogram("h", "", []float64{1, 10})
+	hh := r.Histogram("h", "", nil) // existing bounds win
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		hh.Observe(v)
+	}
+	var ser *Series
+	for _, s := range r.Snapshot() {
+		if s.Name == "h" {
+			s := s
+			ser = &s
+		}
+	}
+	if ser == nil {
+		t.Fatalf("histogram missing from snapshot")
+	}
+	want := []Bucket{{Le: 1, Count: 2}, {Le: 10, Count: 3}, {Le: math.Inf(1), Count: 4}}
+	if len(ser.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", ser.Buckets, want)
+	}
+	for i := range want {
+		if ser.Buckets[i] != want[i] {
+			t.Fatalf("bucket[%d] = %+v, want %+v (cumulative)", i, ser.Buckets[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Counter("a_total", "")
+	r.Gauge("m", "")
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("snapshot names not sorted: %v", names)
+	}
+}
+
+// promLine matches one Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gevo_test_total", "things counted").Add(3)
+	r.Gauge(`gevo_test_jobs{state="running"}`, "jobs by state").Set(2)
+	r.Gauge(`gevo_test_jobs{state="queued"}`, "jobs by state").Set(1)
+	r.Histogram("gevo_test_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+
+	typeCount := 0
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# TYPE") {
+			typeCount++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+	// The two labeled jobs series share one family: 3 TYPE headers total.
+	if typeCount != 3 {
+		t.Fatalf("TYPE headers = %d, want 3 (labeled series grouped per family)\n%s", typeCount, text)
+	}
+	for _, want := range []string{
+		"gevo_test_total 3",
+		`gevo_test_jobs{state="running"} 2`,
+		`gevo_test_seconds_bucket{le="0.1"} 0`,
+		`gevo_test_seconds_bucket{le="1"} 1`,
+		`gevo_test_seconds_bucket{le="+Inf"} 1`,
+		"gevo_test_seconds_sum 0.5",
+		"gevo_test_seconds_count 1",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"gevo/internal/core"
 	"gevo/internal/island"
 )
 
@@ -49,6 +50,27 @@ type JobResult struct {
 	GenomeEdits int      `json:"genome_edits"`
 	Genome      []string `json:"genome,omitempty"`
 	Validated   bool     `json:"validated"`
+	// Lineage is the winning deme's best-improvement provenance chain:
+	// one line per generation that set a new best-ever fitness. It is a
+	// deterministic function of the spec (the search records it as part of
+	// the checkpointed history), so including it keeps result documents
+	// byte-identical across runs and crash-resumes.
+	Lineage []LineageLine `json:"lineage,omitempty"`
+}
+
+// LineageLine is one best-improvement record in a JobResult — the subset of
+// core.LineageEntry whose fields are always finite (ParentMs can be +Inf,
+// which encoding/json rejects, so it stays behind core's checkpoint codec).
+type LineageLine struct {
+	Gen     int     `json:"gen"`
+	Op      string  `json:"op"`
+	Kind    string  `json:"kind,omitempty"`
+	Site    string  `json:"site,omitempty"`
+	Parent  string  `json:"parent,omitempty"`
+	BestMs  float64 `json:"best_ms"`
+	DeltaMs float64 `json:"delta_ms"`
+	Speedup float64 `json:"speedup"`
+	Edits   int     `json:"edits"`
 }
 
 // JobStatus is the externally visible snapshot of a job, served by the
@@ -156,4 +178,7 @@ type Event struct {
 	Type string     `json:"type"`
 	Job  JobStatus  `json:"job"`
 	Gens []GenPoint `json:"gens,omitempty"`
+	// Pool is a sample of the shared evaluation pool taken when the event
+	// was built, so SSE watchers see server load without polling.
+	Pool *core.PoolStats `json:"pool,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 	"gevo/internal/core"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
+	"gevo/internal/obs"
 	"gevo/internal/workload"
 )
 
@@ -40,6 +41,13 @@ type Options struct {
 	// still come from workload.Names — the spec validator checks against
 	// the registry either way.
 	Workloads func(name string) (workload.Workload, error)
+	// Registry receives the manager's metrics (nil = obs.Default). The
+	// process-global gpu instruments live in obs.Default either way, so
+	// the default gives /metrics the complete picture.
+	Registry *obs.Registry
+	// JournalCap bounds the trace-event flight recorder
+	// (0 = obs.DefaultJournalCap).
+	JournalCap int
 }
 
 func (o *Options) fill() {
@@ -65,6 +73,20 @@ type Manager struct {
 	opts Options
 	pool *core.EvalPool
 	hub  *hub
+
+	// Observability: the metrics registry, the flight-recorder collector
+	// (every job's search emits deterministic trace events into it, tagged
+	// with the job ID), and the manager's own instruments. None of these
+	// influence scheduling or results.
+	reg             *obs.Registry
+	col             *obs.Collector
+	slicesTotal     *obs.Counter
+	submitsTotal    *obs.Counter
+	dedupTotal      *obs.Counter
+	cacheHitsTotal  *obs.Counter
+	eventsPublished *obs.Counter
+	ledgerWrites    *obs.Counter
+	ledgerSeconds   *obs.Histogram
 
 	// workloads shares one instance per registered name across jobs, so
 	// the pool's per-instance cache namespace deduplicates evaluations
@@ -117,6 +139,7 @@ func Open(opts Options) (*Manager, error) {
 		wake:      make(chan struct{}, 1),
 		stopc:     make(chan struct{}),
 	}
+	m.initObs()
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, err
@@ -135,6 +158,69 @@ func Open(opts Options) (*Manager, error) {
 	}
 	m.wakeup()
 	return m, nil
+}
+
+// initObs wires the manager's observability: registry, flight recorder,
+// own instruments, and attachments for the shared pool's gauges and the
+// jobs-by-state levels. Attachments use closures (last registration wins
+// in obs), so a test process opening several managers simply hands the
+// standard names to the newest one.
+func (m *Manager) initObs() {
+	m.reg = m.opts.Registry
+	if m.reg == nil {
+		m.reg = obs.Default
+	}
+	m.col = obs.NewCollector(m.reg, m.opts.JournalCap)
+	m.slicesTotal = m.reg.Counter("gevo_serve_slices_total", "Scheduler slices executed (one migration round each).")
+	m.submitsTotal = m.reg.Counter("gevo_serve_submits_total", "Job submissions accepted (including coalesced and cached).")
+	m.dedupTotal = m.reg.Counter("gevo_serve_dedup_hits_total", "Submissions coalesced into an existing job (single-flight).")
+	m.cacheHitsTotal = m.reg.Counter("gevo_serve_result_cache_hits_total", "Submissions answered from the LRU result cache without running.")
+	m.eventsPublished = m.reg.Counter("gevo_serve_events_published_total", "Progress/terminal events published to SSE subscribers.")
+	m.ledgerWrites = m.reg.Counter("gevo_serve_ledger_writes_total", "Ledger snapshots written by the persister.")
+	m.ledgerSeconds = m.reg.Histogram("gevo_serve_ledger_write_seconds", "Wall time of one durable ledger write.", nil)
+	m.reg.GaugeFunc("gevo_serve_executors", "Configured slice concurrency.",
+		func() float64 { return float64(m.opts.Executors) })
+	m.reg.GaugeFunc("gevo_serve_cached_results", "LRU result-cache occupancy.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.cache.len())
+		})
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		st := st
+		m.reg.GaugeFunc(fmt.Sprintf("gevo_serve_jobs{state=%q}", string(st)), "Jobs by lifecycle state.",
+			func() float64 {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				n := 0
+				for _, j := range m.jobs {
+					if j.state == st {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	m.pool.Register(m.reg)
+}
+
+// Metrics returns the manager's registry (the /metrics surface).
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// Trace returns the manager's flight recorder.
+func (m *Manager) Trace() *obs.Collector { return m.col }
+
+// jobEvent journals one job lifecycle transition.
+func (m *Manager) jobEvent(id string, state State) {
+	m.col.Emit(obs.Event{Type: "job.state", Attrs: []obs.Attr{
+		obs.A("job", id), obs.A("state", string(state)),
+	}})
+}
+
+// publish counts and forwards one event to the SSE hub.
+func (m *Manager) publish(ev Event) {
+	m.eventsPublished.Inc()
+	m.hub.publish(ev)
 }
 
 // recover rebuilds the job table from the ledger. Jobs interrupted by the
@@ -223,6 +309,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	key := spec.Key()
 	id := jobID(key)
 
+	m.submitsTotal.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -230,11 +317,13 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	if j, ok := m.jobs[id]; ok {
 		j.submits++
+		m.dedupTotal.Inc()
 		if j.state == StateFailed || j.state == StateCancelled {
 			j.state = StateQueued
 			j.errMsg = ""
 			j.cancelWanted = false
 			j.doneMs = 0
+			m.jobEvent(id, StateQueued)
 			m.wakeup()
 		}
 		m.persistLocked()
@@ -242,6 +331,8 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	now := time.Now().UnixMilli()
 	if res, ok := m.cache.get(key); ok {
+		m.cacheHitsTotal.Inc()
+		m.jobEvent(id, StateDone)
 		j := &job{
 			id: id, key: key, spec: spec,
 			state: StateDone, gen: spec.Generations, bestDeme: res.BestDeme,
@@ -275,6 +366,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
+	m.jobEvent(id, StateQueued)
 	m.persistLocked()
 	m.wakeup()
 	return j.status(), nil
@@ -329,7 +421,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	st := j.status()
 	m.mu.Unlock()
 	if ev != nil {
-		m.hub.publish(*ev)
+		m.publish(*ev)
 	}
 	return st, nil
 }
@@ -431,6 +523,7 @@ func (m *Manager) claimNext() *job {
 			if j.startedMs == 0 {
 				j.startedMs = time.Now().UnixMilli()
 			}
+			m.jobEvent(j.id, StateRunning)
 			m.persistLocked()
 		}
 		m.cursor = (idx + 1) % len(m.order)
@@ -453,6 +546,10 @@ func (m *Manager) runSlice(j *job) {
 		}
 	}
 	j.search.StepRound()
+	m.slicesTotal.Inc()
+	m.col.Emit(obs.Event{Type: "serve.slice", Attrs: []obs.Attr{
+		obs.A("job", j.id), obs.AI("gen", int64(j.search.Generation())),
+	}})
 	done := j.search.Done()
 	if m.opts.Dir != "" {
 		cp, err := j.search.Snapshot()
@@ -491,11 +588,14 @@ func (m *Manager) runSlice(j *job) {
 		ev = &e
 	} else {
 		m.persistLocked()
-		e := Event{Type: "progress", Job: j.status(), Gens: points}
+		// Fold a pool sample into the progress stream: SSE watchers get
+		// load telemetry without polling /stats.
+		ps := m.pool.Stats()
+		e := Event{Type: "progress", Job: j.status(), Gens: points, Pool: &ps}
 		ev = &e
 	}
 	m.mu.Unlock()
-	m.hub.publish(*ev)
+	m.publish(*ev)
 }
 
 // openSearch builds the job's island search: from the job's checkpoint
@@ -512,6 +612,7 @@ func (m *Manager) openSearch(j *job) error {
 			if err != nil {
 				return fmt.Errorf("resume: %w", err)
 			}
+			s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
 			j.search = s
 			j.lastEventGen = s.Generation()
 			return nil
@@ -523,6 +624,7 @@ func (m *Manager) openSearch(j *job) error {
 	if err != nil {
 		return err
 	}
+	s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
 	j.search = s
 	return nil
 }
@@ -548,6 +650,12 @@ func (m *Manager) buildResult(j *job) (*JobResult, error) {
 	}
 	for _, e := range r.Best.Genome {
 		res.Genome = append(res.Genome, e.String())
+	}
+	for _, l := range r.Demes[r.BestDeme].Result.History.Lineage {
+		res.Lineage = append(res.Lineage, LineageLine{
+			Gen: l.Gen, Op: l.Op, Kind: l.Kind, Site: l.Site, Parent: l.Parent,
+			BestMs: l.BestMs, DeltaMs: l.DeltaMs, Speedup: l.Speedup, Edits: l.Edits,
+		})
 	}
 	if !m.opts.SkipValidation {
 		w, err := m.workloadFor(j.spec.Workload)
@@ -588,7 +696,7 @@ func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 	m.finalizeLocked(j, state, errMsg)
 	ev := Event{Type: string(state), Job: j.status()}
 	m.mu.Unlock()
-	m.hub.publish(ev)
+	m.publish(ev)
 }
 
 // finalizeLocked is the lock-held core of finalize: state flip, unclaim,
@@ -596,6 +704,7 @@ func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 func (m *Manager) finalizeLocked(j *job, state State, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
+	m.jobEvent(j.id, state)
 	j.claimed = false
 	j.cancelWanted = false
 	j.doneMs = time.Now().UnixMilli()
@@ -696,7 +805,10 @@ func (m *Manager) writeLedger() {
 	m.pendingRemove = nil
 	m.mu.Unlock()
 
+	start := time.Now()
 	_ = saveLedger(m.opts.Dir, jobs)
+	m.ledgerWrites.Inc()
+	m.ledgerSeconds.Observe(time.Since(start).Seconds())
 	for _, id := range remove {
 		_ = os.RemoveAll(jobDir(m.opts.Dir, id))
 	}

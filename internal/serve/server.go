@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"time"
 )
 
 // Server exposes a Manager over REST with SSE progress streaming:
@@ -15,15 +17,42 @@ import (
 //	GET    /jobs/{id}/result finished artifact → JobResult (409 until done)
 //	GET    /jobs/{id}/events SSE stream of Events (status replay, then live)
 //	GET    /stats            manager + pool gauges → Stats
+//	GET    /metrics          Prometheus text exposition of the manager registry
+//	GET    /debug/trace      event journal (?format=jsonl for JSONL, Chrome trace otherwise)
+//	GET    /debug/pprof/     runtime profiles (only when ServerOptions.EnablePprof)
 //	GET    /healthz          liveness
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m    *Manager
+	mux  *http.ServeMux
+	opts ServerOptions
 }
 
-// NewServer wraps a manager in the REST/SSE API.
-func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+// ServerOptions tunes the HTTP surface.
+type ServerOptions struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU to collect, so the
+	// operator opts in per process.
+	EnablePprof bool
+	// KeepAlive is the idle interval after which an SSE stream emits a
+	// ": ping" comment frame so proxies and clients do not time out a
+	// quiet stream. Zero means DefaultKeepAlive; negative disables.
+	KeepAlive time.Duration
+}
+
+// DefaultKeepAlive is the SSE comment-frame interval when
+// ServerOptions.KeepAlive is zero — short enough for common proxy idle
+// timeouts (typically 30–60s), long enough to be negligible traffic.
+const DefaultKeepAlive = 15 * time.Second
+
+// NewServer wraps a manager in the REST/SSE API with default options.
+func NewServer(m *Manager) *Server { return NewServerWith(m, ServerOptions{}) }
+
+// NewServerWith wraps a manager in the REST/SSE API.
+func NewServerWith(m *Manager, opts ServerOptions) *Server {
+	if opts.KeepAlive == 0 {
+		opts.KeepAlive = DefaultKeepAlive
+	}
+	s := &Server{m: m, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /jobs", s.submit)
 	s.mux.HandleFunc("GET /jobs", s.list)
 	s.mux.HandleFunc("GET /jobs/{id}", s.get)
@@ -31,6 +60,15 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /stats", s.stats)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /debug/trace", s.trace)
+	if opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -149,10 +187,23 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if st.State.Terminal() {
 		return
 	}
+	// Keep-alive: a comment frame on idle streams so proxies and client
+	// read deadlines don't kill a stream that is quiet because the search
+	// slice is long, not because the server is gone. SSE clients ignore
+	// comment lines by spec.
+	var keepAlive <-chan time.Time
+	if s.opts.KeepAlive > 0 {
+		t := time.NewTicker(s.opts.KeepAlive)
+		defer t.Stop()
+		keepAlive = t.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepAlive:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
 		case ev, ok := <-ch:
 			if !ok {
 				// Lagged out or manager shutdown: end the stream; clients
@@ -179,4 +230,26 @@ func writeSSE(w http.ResponseWriter, ev Event) {
 
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Stats())
+}
+
+// metrics serves the manager's registry in Prometheus text exposition
+// format (version 0.0.4) for scrapers; no client library involved.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.m.Metrics().WritePrometheus(w)
+}
+
+// trace serves the flight-recorder journal: Chrome trace_event JSON by
+// default (load in Perfetto / chrome://tracing), JSONL with ?format=jsonl.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.WriteHeader(http.StatusOK)
+		_ = s.m.Trace().WriteJSONL(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.m.Trace().WriteChromeTrace(w)
 }

@@ -3,7 +3,8 @@
 # generated synth scenario), kill -9 the server mid-run, restart it on the
 # same state directory, and assert every job resumes and finishes with
 # results byte-identical to an uninterrupted run of the same specs (the
-# crash-resume invariant, across real processes).
+# crash-resume invariant, across real processes). The reference run also
+# scrapes /metrics and fails on missing or malformed Prometheus series.
 #
 # Usage: scripts/serve_smoke.sh [workdir]
 set -euo pipefail
@@ -64,6 +65,34 @@ wait_done() { # $1 = job id
   die "job $1 did not finish"
 }
 
+# check_metrics scrapes /metrics from the running server and validates the
+# exposition: every required series present, every sample line well-formed
+# Prometheus text format (regex only — no scrape library).
+check_metrics() {
+  local scrape="$WORK/metrics.txt"
+  curl -sf "$BASE/metrics" > "$scrape" || die "GET /metrics failed"
+  for series in \
+    gevo_pool_evals_completed_total \
+    gevo_pool_workers \
+    'gevo_serve_jobs{state="done"}' \
+    gevo_serve_slices_total \
+    gevo_serve_submits_total \
+    gevo_gpu_program_cache_hits_total \
+    'gevo_serve_ledger_write_seconds_bucket{le="+Inf"}' \
+    gevo_trace_events_total; do
+    grep -qF "$series" "$scrape" || die "/metrics missing series $series"
+  done
+  # Each non-comment line: name[{labels}] value
+  if grep -vE '^(#.*)?$' "$scrape" \
+     | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$' \
+     | grep -q .; then
+    grep -vE '^(#.*)?$' "$scrape" \
+      | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$' || true
+    die "/metrics has malformed exposition lines"
+  fi
+  say "metrics OK: $(grep -cvE '^(#.*)?$' "$scrape") well-formed series samples"
+}
+
 run_uninterrupted() { # $1 = state dir, $2 = result prefix
   start_server "$1"
   local ids=()
@@ -72,6 +101,7 @@ run_uninterrupted() { # $1 = state dir, $2 = result prefix
     wait_done "${ids[$i]}"
     "$WORK/bin/gevo-submit" -server "$BASE" -result "${ids[$i]}" > "$2.$i.json"
   done
+  check_metrics
   stop_server_hard
 }
 
