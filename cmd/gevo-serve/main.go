@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"gevo/internal/fault"
 	"gevo/internal/gpu"
 	"gevo/internal/serve"
 )
@@ -41,6 +42,8 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "LRU result-cache capacity")
 	backend := flag.String("backend", "", "execution backend override: threaded (default) or interp")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	maxJobs := flag.Int("max-jobs", 0, "max queued+running jobs before submissions shed with 429 (0 = unlimited)")
+	faults := flag.String("faults", "", "deterministic fault-injection schedule, e.g. 'eval.dispatch:panic@3;persist.write:error/5' (chaos testing; '' = off)")
 	flag.Parse()
 
 	if b, err := gpu.ParseBackend(*backend); err != nil {
@@ -49,8 +52,18 @@ func main() {
 		gpu.DefaultBackend = b
 	}
 
+	var inj *fault.Injector
+	if *faults != "" {
+		var err error
+		if inj, err = fault.Parse(*faults); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gevo-serve: fault injection armed: %s\n", *faults)
+	}
+
 	m, err := serve.Open(serve.Options{
 		Dir: *dir, Workers: *workers, Executors: *executors, CacheSize: *cacheSize,
+		MaxActiveJobs: *maxJobs, Inject: inj,
 	})
 	if err != nil {
 		fatal(err)
@@ -60,7 +73,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewServerWith(m, serve.ServerOptions{EnablePprof: *enablePprof})}
+	srv := &http.Server{Handler: serve.NewServerWith(m, serve.ServerOptions{EnablePprof: *enablePprof, Inject: inj})}
 	fmt.Fprintf(os.Stderr, "gevo-serve: listening on http://%s (state: %s)\n", ln.Addr(), stateDesc(*dir))
 
 	done := make(chan error, 1)

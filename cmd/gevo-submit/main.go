@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gevo/internal/gpu"
 	"gevo/internal/serve"
@@ -61,9 +62,13 @@ func main() {
 	result := flag.String("result", "", "fetch one job's result instead of submitting")
 	cancel := flag.String("cancel", "", "cancel one job instead of submitting")
 	stats := flag.Bool("stats", false, "show server stats instead of submitting")
+	retries := flag.Int("retries", 2, "retry transient failures (connection refused, 429, 5xx) this many times")
+	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on the backoff between retries")
 	flag.Parse()
 
 	c := client.New(*server)
+	c.Retries = *retries
+	c.RetryMaxWait = *retryMaxWait
 	ctx := context.Background()
 
 	switch {

@@ -25,6 +25,7 @@ package gevo
 import (
 	"gevo/internal/analysis"
 	"gevo/internal/core"
+	"gevo/internal/fault"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
@@ -207,6 +208,36 @@ var OpenJobManager = serve.Open
 
 // NewJobServer wraps a manager in the REST/SSE http.Handler.
 var NewJobServer = serve.NewServer
+
+// Fault-injection re-exports (internal/fault, DESIGN.md §10): a
+// deterministic, seed-driven fault injector wired through the evaluation
+// pool, the persistence shim and the HTTP surface. A nil injector is the
+// production default (one pointer compare per site); with injection armed,
+// fixed-seed search results stay byte-identical to a fault-free run.
+type (
+	// FaultInjector schedules deterministic faults at named sites.
+	FaultInjector = fault.Injector
+	// FaultRule arms one (site, kind) schedule in an injector.
+	FaultRule = fault.Rule
+	// FaultCount reports one scheduled (site, kind)'s planned/fired tally.
+	FaultCount = fault.Count
+	// EvalPanicError is a quarantined evaluation panic: the genome, the
+	// workload, the panic value and a deterministic stack digest.
+	EvalPanicError = core.EvalPanicError
+	// OverloadedError is the admission-control rejection from JobManager
+	// Submit (HTTP 429 + Retry-After at the REST surface).
+	OverloadedError = serve.OverloadedError
+	// ManagerHealth is the failure-domain summary ("ok" or "degraded").
+	ManagerHealth = serve.Health
+)
+
+// ParseFaults decodes a fault-schedule spec (the gevo-serve -faults
+// syntax), e.g. "eval.dispatch:panic@3,9;persist.write:error/5".
+var ParseFaults = fault.Parse
+
+// NewFaultInjector builds an injector from rules, rejecting schedules
+// that arm the same (site, hit) twice.
+var NewFaultInjector = fault.New
 
 // Scenario-generation re-exports (internal/synth, DESIGN.md §7): a
 // deterministic, seed-driven generator of GPU kernel families. Scenarios

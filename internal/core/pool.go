@@ -1,11 +1,17 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 
+	"gevo/internal/fault"
 	"gevo/internal/gpu"
 	"gevo/internal/obs"
 	"gevo/internal/workload"
@@ -33,10 +39,24 @@ type EvalPool struct {
 	// attach them to a metrics registry), read via Stats. They never
 	// influence scheduling or results; an orchestrator (internal/serve)
 	// samples them for load reporting.
-	queued    obs.Gauge
-	inFlight  obs.Gauge
-	completed obs.Counter
-	hits      obs.Counter
+	queued       obs.Gauge
+	inFlight     obs.Gauge
+	completed    obs.Counter
+	hits         obs.Counter
+	panics       obs.Counter
+	redispatches obs.Counter
+
+	// inj is the fault injector consulted at eval dispatch (nil = injection
+	// off, the zero-cost default). Set via SetInjector before the first
+	// evaluation; never mutated after.
+	inj *fault.Injector
+	// sink receives quarantine trace events (nil = tracing off). Set via
+	// AttachSink before the first evaluation; never mutated after.
+	sink obs.Sink
+
+	qMu sync.Mutex
+	// quarantined is the log of contained evaluation panics; guarded by qMu.
+	quarantined []*EvalPanicError
 
 	// ids assigns each workload *instance* a distinct cache namespace.
 	// Workload names identify content shape, not datasets: two ADEPT
@@ -100,6 +120,12 @@ type PoolStats struct {
 	// CacheHits counts evaluations served from the single-flight cache,
 	// including waits on an in-flight entry.
 	CacheHits int64 `json:"cache_hits"`
+	// EvalPanics counts evaluations whose fn panicked and was quarantined
+	// (scored +Inf instead of tearing down the process).
+	EvalPanics int64 `json:"eval_panics"`
+	// Redispatches counts injected worker faults absorbed by re-running
+	// the evaluation (fault injection only; 0 in production).
+	Redispatches int64 `json:"redispatches"`
 }
 
 // Stats samples the pool's gauges. The fields are read independently, so a
@@ -107,11 +133,13 @@ type PoolStats struct {
 // barrier.
 func (p *EvalPool) Stats() PoolStats {
 	return PoolStats{
-		Workers:    cap(p.sem),
-		QueueDepth: int(p.queued.Value()),
-		InFlight:   int(p.inFlight.Value()),
-		Completed:  p.completed.Value(),
-		CacheHits:  p.hits.Value(),
+		Workers:      cap(p.sem),
+		QueueDepth:   int(p.queued.Value()),
+		InFlight:     int(p.inFlight.Value()),
+		Completed:    p.completed.Value(),
+		CacheHits:    p.hits.Value(),
+		EvalPanics:   p.panics.Value(),
+		Redispatches: p.redispatches.Value(),
 	}
 }
 
@@ -132,13 +160,82 @@ func (p *EvalPool) Register(r *obs.Registry) {
 		func() float64 { return float64(p.completed.Value()) })
 	r.CounterFunc("gevo_pool_cache_hits_total", "Evaluations served from the single-flight fitness cache.",
 		func() float64 { return float64(p.hits.Value()) })
+	r.CounterFunc("gevo_pool_eval_panics_total", "Evaluation panics recovered and quarantined (scored +Inf).",
+		func() float64 { return float64(p.panics.Value()) })
+	r.CounterFunc("gevo_pool_redispatch_total", "Injected worker faults absorbed by redispatching the evaluation.",
+		func() float64 { return float64(p.redispatches.Value()) })
 }
+
+// SetInjector arms the pool's eval-dispatch fault site (nil = off). Must
+// be called before the first evaluation; the field is read-only afterwards,
+// keeping the injection-off hot path at one pointer compare.
+func (p *EvalPool) SetInjector(in *fault.Injector) { p.inj = in }
+
+// AttachSink routes quarantine trace events to a sink (nil = off). Must be
+// called before the first evaluation.
+func (p *EvalPool) AttachSink(s obs.Sink) { p.sink = s }
+
+// EvalPanicError is one contained evaluation panic: the worker recovered a
+// panic out of a workload's Evaluate, scored the genome +Inf (the GEVO
+// "any failure is just bad fitness" contract, lifted from the kernel level
+// to the process level), and quarantined this record instead of letting
+// the panic tear down sibling engines.
+type EvalPanicError struct {
+	// Workload and Arch name the evaluation that panicked.
+	Workload string
+	Arch     string
+	// Genome is a short content digest of the panicking genome.
+	Genome string
+	// Value is the stringified panic value.
+	Value string
+	// StackDigest is a short digest over the panic stack's file:line
+	// frames — stable for a given binary, so repeated panics from one bug
+	// collapse to one signature.
+	StackDigest string
+}
+
+func (e *EvalPanicError) Error() string {
+	return fmt.Sprintf("core: eval panic quarantined (workload %s, arch %s, genome %s, stack %s): %s",
+		e.Workload, e.Arch, e.Genome, e.StackDigest, e.Value)
+}
+
+// Quarantined returns a copy of the pool's eval-panic quarantine log.
+func (p *EvalPool) Quarantined() []*EvalPanicError {
+	p.qMu.Lock()
+	defer p.qMu.Unlock()
+	out := make([]*EvalPanicError, len(p.quarantined))
+	copy(out, p.quarantined)
+	return out
+}
+
+// evalMeta identifies an evaluation for quarantine records.
+type evalMeta struct {
+	workload string
+	arch     string
+	genome   string
+}
+
+// maxRedispatch bounds how many consecutive injected worker faults the
+// pool absorbs for one evaluation before treating the site as genuinely
+// broken. Injected faults model transient infrastructure loss (a worker
+// crash), so redispatch is the correct response — fitness is a pure
+// function, and the retried evaluation returns the exact value the faulted
+// one would have, which is why a faulted run stays bit-identical to a
+// fault-free one. Real panics from fn never retry: a deterministic panic
+// would just panic again.
+const maxRedispatch = 8
 
 // evaluate returns the fitness for the key, computing it via fn at most
 // once across every engine sharing the pool. Concurrent requesters of an
 // in-flight key block on the first; the worker budget bounds how many fn
 // calls run simultaneously.
-func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
+//
+// Failure containment: fn runs behind a recover. However it exits — value,
+// injected fault, panic — the deferred block releases the worker slot,
+// settles the gauges and closes ent.done, so waiters on the in-flight
+// entry can never hang and the semaphore can never leak. A panicking fn
+// poisons the entry at +Inf (see EvalPanicError).
+func (p *EvalPool) evaluate(key string, meta evalMeta, fn func() float64) float64 {
 	sh := &p.shards[shardOf(key)]
 	sh.mu.Lock()
 	if ent, ok := sh.m[key]; ok {
@@ -155,12 +252,101 @@ func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
 	p.sem <- struct{}{}
 	p.queued.Add(-1)
 	p.inFlight.Add(1)
-	ent.ms = fn()
-	p.inFlight.Add(-1)
-	p.completed.Add(1)
-	<-p.sem
-	close(ent.done)
+	// Poisoned default: should anything below escape past run's recover,
+	// waiters still observe worst fitness, never a hang.
+	ent.ms = math.Inf(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		p.completed.Add(1)
+		<-p.sem
+		close(ent.done)
+	}()
+	ent.ms = p.run(meta, fn)
 	return ent.ms
+}
+
+// run executes one evaluation with panic containment: injected worker
+// faults are redispatched (bounded by maxRedispatch), real panics are
+// quarantined and scored +Inf.
+func (p *EvalPool) run(meta evalMeta, fn func() float64) float64 {
+	for attempt := 0; ; attempt++ {
+		ms, rec, injected := p.runOnce(fn)
+		if injected {
+			if attempt < maxRedispatch {
+				p.redispatches.Add(1)
+				continue
+			}
+			rec = &panicRecord{value: "injected fault budget exhausted"}
+		}
+		if rec == nil {
+			return ms
+		}
+		q := &EvalPanicError{
+			Workload: meta.workload, Arch: meta.arch, Genome: meta.genome,
+			Value: rec.value, StackDigest: rec.stackDigest,
+		}
+		p.qMu.Lock()
+		p.quarantined = append(p.quarantined, q)
+		p.qMu.Unlock()
+		p.panics.Add(1)
+		if s := p.sink; s != nil {
+			s.Emit(obs.Event{Type: "pool.quarantine", Attrs: []obs.Attr{
+				obs.A("workload", q.Workload), obs.A("arch", q.Arch),
+				obs.A("genome", q.Genome), obs.A("stack", q.StackDigest),
+			}})
+		}
+		return math.Inf(1)
+	}
+}
+
+// panicRecord captures a recovered panic for quarantine.
+type panicRecord struct {
+	value       string
+	stackDigest string
+}
+
+// runOnce runs fn behind the eval-dispatch fault site and a recover.
+// Exactly one of the returns is meaningful: ms on success, rec for a real
+// panic, injected=true for an injected transient fault (panic or error
+// kind) to be redispatched.
+func (p *EvalPool) runOnce(fn func() float64) (ms float64, rec *panicRecord, injected bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := fault.AsInjected(r); ok {
+				injected = true
+				return
+			}
+			rec = &panicRecord{value: fmt.Sprint(r), stackDigest: stackDigest(debug.Stack())}
+		}
+	}()
+	if f := p.inj.Hit(fault.SiteEvalDispatch); f.Kind != "" {
+		f.Fire()
+		return 0, nil, true
+	}
+	return fn(), nil, false
+}
+
+// stackDigest hashes the file:line frames of a panic stack (the
+// tab-indented lines), dropping the goroutine header and the argument hex
+// of function lines, both of which vary run to run. The digest is stable
+// for a given binary, so it is safe to surface through the (observing-only)
+// trace sink.
+func stackDigest(stack []byte) string {
+	var b strings.Builder
+	for _, line := range strings.Split(string(stack), "\n") {
+		if strings.HasPrefix(line, "\t") {
+			b.WriteString(strings.TrimSpace(line))
+			b.WriteByte('\n')
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:6])
+}
+
+// genomeDigest is the short content digest quarantine records carry.
+func genomeDigest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:6])
 }
 
 // evaluateGenome runs one genome of a workload on an architecture through
@@ -168,7 +354,8 @@ func (p *EvalPool) evaluate(key string, fn func() float64) float64 {
 // architecture and genome content.
 func (p *EvalPool) evaluateGenome(w workload.Workload, arch *gpu.Arch, genome []Edit, key string) float64 {
 	full := p.workloadID(w) + "\x00" + arch.Name + "\x00" + key
-	return p.evaluate(full, func() float64 {
+	meta := evalMeta{workload: w.Name(), arch: arch.Name, genome: genomeDigest(key)}
+	return p.evaluate(full, meta, func() float64 {
 		m := Variant(w.Base(), genome)
 		ms, err := w.Evaluate(m, arch)
 		if err != nil {

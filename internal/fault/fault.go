@@ -1,0 +1,402 @@
+// Package fault is the deterministic fault-injection framework: named
+// sites in the process plumbing (evaluation dispatch, persistence I/O, the
+// HTTP surface) consult a nil-default *Injector, which fires scheduled
+// faults — panics, errors, torn writes, disk-full, delays — at exact
+// per-site hit indices. The schedule is data (explicit hit lists, every-Nth
+// rules, or hit sets drawn from a seeded RNG), so a fault run is replayable
+// from its spec string alone.
+//
+// The design mirrors obs.Sink: every site holds a nil-default injector and
+// checks it behind a nil receiver, so with injection off the hot path costs
+// one pointer compare and fixed-seed results are byte-identical to a build
+// that never heard of this package. With injection on, faults may reorder
+// scheduling and force retries but never change what a computation returns:
+// the hardened layers (core.EvalPool redispatch, the serve persister's
+// retry loop, client backoff) absorb them, which is exactly the property
+// the chaos gauntlet pins by diffing a faulted run against a fault-free
+// one.
+//
+//gevo:deterministic
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is the failure mode a rule injects at its site.
+type Kind string
+
+const (
+	// KindError fails the site's operation with an *Injected error.
+	KindError Kind = "error"
+	// KindPanic panics the site with an *Injected value (sites recover it
+	// via AsInjected and treat it as a transient crash, e.g. the eval pool
+	// redispatches the evaluation).
+	KindPanic Kind = "panic"
+	// KindDelay stalls the site for the rule's delay, then proceeds
+	// normally. Applied inside Hit; callers never see a delay fault.
+	KindDelay Kind = "delay"
+	// KindTorn makes a write site persist only a prefix of its payload
+	// before failing — the torn-write case an atomic write protocol must
+	// make invisible.
+	KindTorn Kind = "torn"
+	// KindFull fails a write site with a disk-full error.
+	KindFull Kind = "full"
+)
+
+// The injection sites wired through the codebase. Site names are free-form
+// strings — these constants are the ones the shipped layers consult.
+const (
+	// SiteEvalDispatch fires inside core.EvalPool workers, just before the
+	// simulation runs. panic/error there model a crashed or lost worker;
+	// the pool redispatches.
+	SiteEvalDispatch = "eval.dispatch"
+	// SitePersistWrite/Sync/Close/Rename fire at the corresponding step of
+	// serve's atomic file writes (ledger and result documents).
+	SitePersistWrite  = "persist.write"
+	SitePersistSync   = "persist.sync"
+	SitePersistClose  = "persist.close"
+	SitePersistRename = "persist.rename"
+	// SiteHTTPRequest fires at the top of serve's HTTP handler; error
+	// answers 503, modelling a flaky front end for client-retry tests.
+	SiteHTTPRequest = "http.request"
+)
+
+// DefaultDelay is the stall applied by a delay rule that does not name one.
+const DefaultDelay = 2 * time.Millisecond
+
+// Injected is the value a fired fault carries: the panic value of a
+// KindPanic fault and the error of every failing kind. Sites identify
+// injected (as opposed to organic) failures with AsInjected, which is what
+// lets the eval pool redispatch an injected worker crash but quarantine a
+// real panic.
+type Injected struct {
+	// Site is the site that fired.
+	Site string
+	// Hit is the 1-based arrival index at which the rule fired.
+	Hit int64
+	// Kind is the rule's failure mode.
+	Kind Kind
+}
+
+// Error implements error with a stable, deterministic message.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s hit %d", e.Kind, e.Site, e.Hit)
+}
+
+// AsInjected reports whether a recovered panic value (or an error) is an
+// injected fault.
+func AsInjected(v any) (*Injected, bool) {
+	in, ok := v.(*Injected)
+	return in, ok
+}
+
+// Fault is what Hit returns when a rule fires: the kind plus a ready-made
+// *Injected error. The zero Fault (Kind "") means no injection.
+type Fault struct {
+	Kind Kind
+	// Err is the injected error, non-nil whenever Kind is a failing kind
+	// (error, panic, torn, full).
+	Err error
+}
+
+// Fire raises a KindPanic fault as a panic and is a no-op for every other
+// kind, so a call site can write `f.Fire()` and then handle the failing
+// kinds it understands.
+func (f Fault) Fire() {
+	if f.Kind == KindPanic {
+		panic(f.Err.(*Injected))
+	}
+}
+
+// Rule schedules one failure mode at one site. Exactly one of Hits or
+// Every selects the arrivals that fire.
+type Rule struct {
+	// Site is the injection point this rule arms.
+	Site string
+	// Kind is the failure mode.
+	Kind Kind
+	// Hits lists the 1-based arrival indices that fire (explicit and
+	// seeded schedules).
+	Hits []int64
+	// Every fires on every arrival whose index is a multiple of Every
+	// (modulo schedules; open-ended).
+	Every int64
+	// Delay is the stall of a KindDelay rule (0 = DefaultDelay).
+	Delay time.Duration
+}
+
+func (r Rule) valid() error {
+	if r.Site == "" {
+		return fmt.Errorf("fault: rule with empty site")
+	}
+	switch r.Kind {
+	case KindError, KindPanic, KindDelay, KindTorn, KindFull:
+	default:
+		return fmt.Errorf("fault: rule for %s has unknown kind %q", r.Site, r.Kind)
+	}
+	if len(r.Hits) == 0 && r.Every <= 0 {
+		return fmt.Errorf("fault: rule %s:%s selects no arrivals (need hits or every)", r.Site, r.Kind)
+	}
+	if len(r.Hits) > 0 && r.Every > 0 {
+		return fmt.Errorf("fault: rule %s:%s has both hits and every", r.Site, r.Kind)
+	}
+	for _, h := range r.Hits {
+		if h <= 0 {
+			return fmt.Errorf("fault: rule %s:%s hit index %d (hits are 1-based)", r.Site, r.Kind, h)
+		}
+	}
+	return nil
+}
+
+// Injector fires scheduled faults at named sites. A nil *Injector is the
+// off state: every method is a cheap no-op on a nil receiver, so call
+// sites consult their injector field unconditionally.
+type Injector struct {
+	mu sync.Mutex
+	// hits counts arrivals per site; guarded by mu.
+	hits map[string]int64
+	// at maps site -> 1-based hit index -> armed rule; guarded by mu.
+	at map[string]map[int64]*Rule
+	// every lists a site's modulo rules; guarded by mu.
+	every map[string][]*Rule
+	// fired counts injections per site/kind; guarded by mu.
+	fired map[string]map[Kind]int64
+}
+
+// New builds an injector from rules. Two rules may not arm the same
+// (site, hit) pair.
+func New(rules ...Rule) (*Injector, error) {
+	in := &Injector{
+		hits:  make(map[string]int64),
+		at:    make(map[string]map[int64]*Rule),
+		every: make(map[string][]*Rule),
+		fired: make(map[string]map[Kind]int64),
+	}
+	for i := range rules {
+		r := rules[i]
+		if err := r.valid(); err != nil {
+			return nil, err
+		}
+		if in.fired[r.Site] == nil {
+			in.fired[r.Site] = make(map[Kind]int64)
+		}
+		in.fired[r.Site][r.Kind] += 0
+		if r.Every > 0 {
+			in.every[r.Site] = append(in.every[r.Site], &r)
+			continue
+		}
+		m := in.at[r.Site]
+		if m == nil {
+			m = make(map[int64]*Rule)
+			in.at[r.Site] = m
+		}
+		for _, h := range r.Hits {
+			if prev, dup := m[h]; dup {
+				return nil, fmt.Errorf("fault: %s hit %d armed twice (%s and %s)", r.Site, h, prev.Kind, r.Kind)
+			}
+			m[h] = &r
+		}
+	}
+	return in, nil
+}
+
+// MustNew is New for hand-written schedules in tests.
+func MustNew(rules ...Rule) *Injector {
+	in, err := New(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Hit records one arrival at site and returns the fault armed for it, if
+// any. Delay faults are applied here (the caller's goroutine sleeps) and
+// return the zero Fault, so call sites only ever branch on failing kinds.
+// Nil receiver: zero Fault, no bookkeeping.
+func (in *Injector) Hit(site string) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	h := in.hits[site]
+	r := in.at[site][h]
+	if r == nil {
+		for _, er := range in.every[site] {
+			if h%er.Every == 0 {
+				r = er
+				break
+			}
+		}
+	}
+	if r == nil {
+		in.mu.Unlock()
+		return Fault{}
+	}
+	if in.fired[site] == nil {
+		in.fired[site] = make(map[Kind]int64)
+	}
+	in.fired[site][r.Kind]++
+	delay := r.Delay
+	in.mu.Unlock()
+
+	if r.Kind == KindDelay {
+		if delay <= 0 {
+			delay = DefaultDelay
+		}
+		time.Sleep(delay)
+		return Fault{}
+	}
+	return Fault{Kind: r.Kind, Err: &Injected{Site: site, Hit: h, Kind: r.Kind}}
+}
+
+// Count is the accounting for one (site, kind) pair.
+type Count struct {
+	Site string
+	Kind Kind
+	// Planned is the number of arrivals the schedule arms (-1 for
+	// open-ended every-Nth rules).
+	Planned int64
+	// Fired is how many actually fired so far.
+	Fired int64
+}
+
+// Counts returns per-(site, kind) accounting, sorted by site then kind —
+// how the chaos gauntlet asserts every scheduled fault actually fired.
+func (in *Injector) Counts() []Count {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	planned := make(map[string]map[Kind]int64)
+	note := func(site string, kind Kind, n int64) {
+		if planned[site] == nil {
+			planned[site] = make(map[Kind]int64)
+		}
+		if n < 0 || planned[site][kind] < 0 {
+			planned[site][kind] = -1
+			return
+		}
+		planned[site][kind] += n
+	}
+	for site, m := range in.at {
+		for _, r := range m {
+			note(site, r.Kind, 1)
+		}
+	}
+	for site, rules := range in.every {
+		for _, r := range rules {
+			note(site, r.Kind, -1)
+		}
+	}
+	for site, kinds := range in.fired {
+		for kind := range kinds {
+			note(site, kind, 0)
+		}
+	}
+	var out []Count
+	for site, kinds := range planned {
+		for kind, n := range kinds {
+			out = append(out, Count{Site: site, Kind: kind, Planned: n, Fired: in.fired[site][kind]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Parse builds an injector from a compact schedule spec: semicolon-
+// separated rules of the form
+//
+//	site:kind@1,3,9          fire kind at these 1-based arrivals
+//	site:kind/7              fire on every 7th arrival
+//	site:kind~seed,n,window  fire at n distinct seeded arrivals in [1,window]
+//	site:delay=5ms@2,4       delay rules take an optional duration
+//
+// e.g. "eval.dispatch:panic@3,9,17;persist.write:torn@1;http.request:error/5".
+// The spec is the whole schedule: the same string replays the same faults.
+func Parse(spec string) (*Injector, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty schedule spec")
+	}
+	return New(rules...)
+}
+
+func parseRule(part string) (Rule, error) {
+	site, rest, ok := strings.Cut(part, ":")
+	if !ok || site == "" {
+		return Rule{}, fmt.Errorf("fault: rule %q: want site:kind...", part)
+	}
+	r := Rule{Site: site}
+	// Split the kind from its selector; the delay duration rides on the
+	// kind token as kind=dur.
+	sel := strings.IndexAny(rest, "@/~")
+	if sel < 0 {
+		return Rule{}, fmt.Errorf("fault: rule %q: missing selector (@hits, /every or ~seed,n,window)", part)
+	}
+	kindTok, selector := rest[:sel], rest[sel:]
+	if kind, dur, hasDur := strings.Cut(kindTok, "="); hasDur {
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad delay %q: %v", part, dur, err)
+		}
+		r.Kind, r.Delay = Kind(kind), d
+	} else {
+		r.Kind = Kind(kindTok)
+	}
+	switch selector[0] {
+	case '@':
+		for _, s := range strings.Split(selector[1:], ",") {
+			h, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return Rule{}, fmt.Errorf("fault: rule %q: bad hit index %q", part, s)
+			}
+			r.Hits = append(r.Hits, h)
+		}
+	case '/':
+		n, err := strconv.ParseInt(selector[1:], 10, 64)
+		if err != nil || n <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad every %q", part, selector[1:])
+		}
+		r.Every = n
+	case '~':
+		f := strings.Split(selector[1:], ",")
+		if len(f) != 3 {
+			return Rule{}, fmt.Errorf("fault: rule %q: seeded selector wants ~seed,n,window", part)
+		}
+		seed, err1 := strconv.ParseUint(strings.TrimSpace(f[0]), 10, 64)
+		n, err2 := strconv.Atoi(strings.TrimSpace(f[1]))
+		window, err3 := strconv.Atoi(strings.TrimSpace(f[2]))
+		if err1 != nil || err2 != nil || err3 != nil || n <= 0 || window < n {
+			return Rule{}, fmt.Errorf("fault: rule %q: seeded selector wants ~seed,n,window with 0 < n <= window", part)
+		}
+		r.Hits = SeededHits(seed, n, window)
+	}
+	if err := r.valid(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}

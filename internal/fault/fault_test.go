@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gevo/internal/obs"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 3; i++ {
+		if f := in.Hit(SiteEvalDispatch); f.Kind != "" {
+			t.Fatalf("nil injector fired %+v", f)
+		}
+	}
+	if got := in.Counts(); got != nil {
+		t.Fatalf("nil injector counts = %v", got)
+	}
+	in.Register(obs.NewRegistry())
+}
+
+func TestExplicitHits(t *testing.T) {
+	in := MustNew(Rule{Site: "s", Kind: KindError, Hits: []int64{2, 4}})
+	want := []Kind{"", KindError, "", KindError, ""}
+	for i, k := range want {
+		f := in.Hit("s")
+		if f.Kind != k {
+			t.Fatalf("hit %d: kind %q, want %q", i+1, f.Kind, k)
+		}
+		if k != "" {
+			inj, ok := AsInjected(f.Err)
+			if !ok || inj.Site != "s" || inj.Hit != int64(i+1) || inj.Kind != k {
+				t.Fatalf("hit %d: injected = %+v", i+1, inj)
+			}
+		}
+	}
+	counts := in.Counts()
+	if len(counts) != 1 || counts[0] != (Count{Site: "s", Kind: KindError, Planned: 2, Fired: 2}) {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	in := MustNew(Rule{Site: "s", Kind: KindFull, Every: 3})
+	fired := 0
+	for i := 1; i <= 9; i++ {
+		if f := in.Hit("s"); f.Kind != "" {
+			if i%3 != 0 {
+				t.Fatalf("fired at hit %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	c := in.Counts()
+	if len(c) != 1 || c[0].Planned != -1 || c[0].Fired != 3 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestPanicKindFires(t *testing.T) {
+	in := MustNew(Rule{Site: "s", Kind: KindPanic, Hits: []int64{1}})
+	f := in.Hit("s")
+	defer func() {
+		r := recover()
+		inj, ok := AsInjected(r)
+		if !ok || inj.Kind != KindPanic {
+			t.Fatalf("recovered %v, want *Injected panic", r)
+		}
+	}()
+	f.Fire()
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelayAppliedInHit(t *testing.T) {
+	in := MustNew(Rule{Site: "s", Kind: KindDelay, Hits: []int64{1}, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if f := in.Hit("s"); f.Kind != "" {
+		t.Fatalf("delay fault leaked to caller: %+v", f)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+	if c := in.Counts(); c[0].Fired != 1 {
+		t.Fatalf("delay not counted: %+v", c)
+	}
+}
+
+func TestSeededHitsDeterministic(t *testing.T) {
+	a := SeededHits(42, 5, 100)
+	b := SeededHits(42, 5, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed differs: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[int64]bool{}
+	for _, h := range a {
+		if h < 1 || h > 100 || seen[h] {
+			t.Fatalf("bad hit set %v", a)
+		}
+		seen[h] = true
+	}
+	if reflect.DeepEqual(a, SeededHits(43, 5, 100)) {
+		t.Fatal("different seeds produced identical hit sets")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in, err := Parse("eval.dispatch:panic@3,9;persist.write:torn@1;http.request:error/5;eval.dispatch:delay=1ms@4;persist.sync:full~7,2,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := in.Counts()
+	wantPlanned := map[string]int64{
+		"eval.dispatch|panic": 2,
+		"eval.dispatch|delay": 1,
+		"persist.write|torn":  1,
+		"http.request|error":  -1,
+		"persist.sync|full":   2,
+	}
+	if len(counts) != len(wantPlanned) {
+		t.Fatalf("counts = %+v", counts)
+	}
+	for _, c := range counts {
+		if wantPlanned[c.Site+"|"+string(c.Kind)] != c.Planned {
+			t.Fatalf("planned mismatch: %+v", c)
+		}
+	}
+	// The seeded selector replays: same spec, same hits.
+	a, _ := Parse("s:error~9,3,20")
+	b, _ := Parse("s:error~9,3,20")
+	for i := 1; i <= 20; i++ {
+		if a.Hit("s").Kind != b.Hit("s").Kind {
+			t.Fatalf("seeded spec not replayable at hit %d", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"nosite",
+		"s:bogus@1",
+		"s:error@0",
+		"s:error@x",
+		"s:error",
+		"s:error/0",
+		"s:error~1,5,3",
+		"s:delay=zz@1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+	if _, err := New(
+		Rule{Site: "s", Kind: KindError, Hits: []int64{1}},
+		Rule{Site: "s", Kind: KindPanic, Hits: []int64{1}},
+	); err == nil || !strings.Contains(err.Error(), "armed twice") {
+		t.Fatalf("duplicate hit accepted: %v", err)
+	}
+}
+
+func TestRegisterExposesSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := MustNew(Rule{Site: "s", Kind: KindError, Hits: []int64{1, 2}})
+	in.Register(reg)
+	in.Hit("s")
+	name := `gevo_fault_injected_total{site="s",kind="error"}`
+	if v := reg.Value(name); v != 1 {
+		t.Fatalf("%s = %v, want 1", name, v)
+	}
+	in.Hit("s")
+	if v := reg.Value(name); v != 2 {
+		t.Fatalf("%s = %v, want 2", name, v)
+	}
+}

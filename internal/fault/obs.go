@@ -1,0 +1,49 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"gevo/internal/obs"
+)
+
+// Register attaches one gevo_fault_injected_total{site,kind} series per
+// scheduled (site, kind) pair to a metrics registry, reading the
+// injector's fired counters — how the chaos gauntlet and /metrics account
+// for every injected fault. Nil receiver: no-op.
+func (in *Injector) Register(r *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	var keys []struct {
+		site string
+		kind Kind
+	}
+	for site, kinds := range in.fired {
+		for kind := range kinds {
+			keys = append(keys, struct {
+				site string
+				kind Kind
+			}{site, kind})
+		}
+	}
+	in.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].site != keys[j].site {
+			return keys[i].site < keys[j].site
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		site, kind := k.site, k.kind
+		r.CounterFunc(
+			fmt.Sprintf("gevo_fault_injected_total{site=%q,kind=%q}", site, string(kind)),
+			"Faults injected by the deterministic fault injector.",
+			func() float64 {
+				in.mu.Lock()
+				defer in.mu.Unlock()
+				return float64(in.fired[site][kind])
+			})
+	}
+}

@@ -1,0 +1,31 @@
+package fault
+
+import (
+	"sort"
+
+	"gevo/internal/rng"
+)
+
+// SeededHits draws n distinct 1-based arrival indices from [1, window]
+// using the deterministic rng — the seed-driven schedule form. The same
+// (seed, n, window) always yields the same hit set, so a chaos run is
+// replayable from three numbers. Panics if n > window (no such set
+// exists); validate inputs at the parse layer.
+func SeededHits(seed uint64, n, window int) []int64 {
+	if n > window {
+		panic("fault: SeededHits n > window")
+	}
+	r := rng.New(seed)
+	seen := make(map[int64]bool, n)
+	hits := make([]int64, 0, n)
+	for len(hits) < n {
+		h := int64(r.Uint64()%uint64(window)) + 1
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		hits = append(hits, h)
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	return hits
+}

@@ -19,7 +19,7 @@ import (
 var DetSource = &Analyzer{
 	Name: "detsource",
 	Doc: "forbid time.Now/time.Since and math/rand in the deterministic packages " +
-		"(core, island, ir, rng, synth, gpu); suppress with //gevo:allow <reason>",
+		"(core, island, ir, rng, synth, gpu, fault); suppress with //gevo:allow <reason>",
 	Run: runDetSource,
 }
 
@@ -34,6 +34,7 @@ var detPackages = map[string]bool{
 	"gevo/internal/rng":    true,
 	"gevo/internal/synth":  true,
 	"gevo/internal/gpu":    true,
+	"gevo/internal/fault":  true,
 }
 
 // detScopeMarker opts a package into the determinism scope from its own

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,7 +25,24 @@ type Client struct {
 	// HTTP is the transport (nil = http.DefaultClient). Watch overrides any
 	// client timeout for its streaming request via the context instead.
 	HTTP *http.Client
+	// Retries is how many times a failed request is reissued beyond the
+	// first attempt (0 = no retry). Only transient failures are retried:
+	// transport errors (connection refused, reset) and 429/5xx responses.
+	// Retrying is safe because the API is idempotent — submissions are
+	// content-addressed, so a duplicate POST lands on the same job.
+	Retries int
+	// RetryMaxWait caps the deterministic backoff between attempts
+	// (0 = DefaultRetryMaxWait). The wait doubles from 50ms per attempt, and
+	// a 429's Retry-After header overrides the computed wait, capped the
+	// same way.
+	RetryMaxWait time.Duration
 }
+
+// DefaultRetryMaxWait caps client retry backoff when RetryMaxWait is zero.
+const DefaultRetryMaxWait = 2 * time.Second
+
+// retryBaseWait seeds the doubling backoff between request retries.
+const retryBaseWait = 50 * time.Millisecond
 
 // New returns a client for the base URL.
 func New(base string) *Client {
@@ -39,45 +57,117 @@ func (c *Client) http() *http.Client {
 }
 
 // do issues a request and decodes the JSON response into out, mapping
-// non-2xx responses to errors carrying the server's message.
+// non-2xx responses to errors carrying the server's message. Transient
+// failures — transport errors, 429 (admission shed), 5xx — are retried up
+// to c.Retries times with deterministic doubling backoff; a 429's
+// Retry-After header overrides the computed wait. Everything else (a 4xx
+// is the server saying "this request is wrong, not unlucky") surfaces
+// immediately.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(blob)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryable, err := c.doOnce(ctx, method, path, blob, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.Retries {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(c.retryWait(attempt, err)):
+		}
+	}
+}
+
+// retryErr carries the Retry-After hint from a shed (429) response up to
+// the backoff computation.
+type retryErr struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *retryErr) Error() string { return e.err.Error() }
+func (e *retryErr) Unwrap() error { return e.err }
+
+// retryWait computes the pause before retry attempt+1: the server's
+// Retry-After when it sent one, otherwise 50ms doubling per attempt —
+// both capped at RetryMaxWait. Deterministic (no jitter): a replayed fault
+// schedule yields a replayed retry schedule.
+func (c *Client) retryWait(attempt int, err error) time.Duration {
+	limit := c.RetryMaxWait
+	if limit <= 0 {
+		limit = DefaultRetryMaxWait
+	}
+	wait := retryBaseWait << attempt
+	if re, ok := err.(*retryErr); ok && re.retryAfter > 0 {
+		wait = re.retryAfter
+	}
+	if wait > limit {
+		wait = limit
+	}
+	return wait
+}
+
+// doOnce performs a single HTTP exchange, reporting whether a failure is
+// worth retrying.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		// Transport-level failure (refused, reset, timeout): the server may
+		// simply not be up yet, or be restarting — the retryable case.
+		return true, err
 	}
 	defer resp.Body.Close()
 	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return true, err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr struct {
 			Error string `json:"error"`
 		}
+		err := fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
 		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("%s %s: %s", method, path, apiErr.Error)
+			err = fmt.Errorf("%s %s: %s", method, path, apiErr.Error)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			re := &retryErr{err: err}
+			if s, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && s > 0 {
+				re.retryAfter = time.Duration(s) * time.Second
+			}
+			return true, re
+		case resp.StatusCode >= 500:
+			return true, err
+		default:
+			return false, err
+		}
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
-	return json.Unmarshal(blob, out)
+	return false, json.Unmarshal(blob, out)
 }
 
 // Submit submits a job spec, returning the (possibly deduplicated or

@@ -93,6 +93,11 @@ type JobStatus struct {
 	// Cached marks a job satisfied from the result cache without running.
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Warnings records non-fatal anomalies the job survived — today, a
+	// corrupt checkpoint quarantined aside at resume. Warnings never affect
+	// the result (searches restart deterministically); they exist so an
+	// operator can tell a clean run from a recovered one.
+	Warnings []string `json:"warnings,omitempty"`
 
 	SubmittedUnixMs int64 `json:"submitted_unix_ms"`
 	StartedUnixMs   int64 `json:"started_unix_ms,omitempty"`
@@ -119,6 +124,9 @@ type job struct {
 	submits     int
 	cached      bool
 	errMsg      string
+	// warnings mirrors JobStatus.Warnings, under the manager's mutex like
+	// every mutable field here.
+	warnings []string
 
 	submittedMs int64
 	startedMs   int64
@@ -154,6 +162,7 @@ func (j *job) status() JobStatus {
 		Submits:         j.submits,
 		Cached:          j.cached,
 		Error:           j.errMsg,
+		Warnings:        append([]string(nil), j.warnings...),
 		SubmittedUnixMs: j.submittedMs,
 		StartedUnixMs:   j.startedMs,
 		DoneUnixMs:      j.doneMs,

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"gevo/internal/fault"
 )
 
 // LedgerVersion is the on-disk job-ledger format version. Bump on any
@@ -44,10 +46,21 @@ func jobDir(dir, id string) string { return filepath.Join(dir, "jobs", id) }
 func checkpointPath(dir, id string) string { return filepath.Join(jobDir(dir, id), "checkpoint.json") }
 func resultPath(dir, id string) string     { return filepath.Join(jobDir(dir, id), "result.json") }
 
+// fsio is the injectable filesystem shim serve's durable writes go
+// through: each step of the atomic write protocol — write, sync, close,
+// rename — consults the fault injector first, so the persistence failure
+// domain (disk full, torn write, a failing fsync) is drivable from a
+// deterministic schedule. The zero fsio (nil injector) is the production
+// path and performs the steps verbatim.
+type fsio struct {
+	inj *fault.Injector
+}
+
 // writeFileAtomic writes blob to path via a synced temp file renamed into
-// place, so a crash mid-write never leaves a truncated document where a
-// good one was.
-func writeFileAtomic(path string, blob []byte) error {
+// place, so a crash (or an injected failure) mid-write never leaves a
+// truncated document where a good one was: the rename is the commit point,
+// and every failure before it leaves the previous file intact.
+func (f fsio) writeFileAtomic(path string, blob []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -57,29 +70,49 @@ func writeFileAtomic(path string, blob []byte) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
+	if flt := f.inj.Hit(fault.SitePersistWrite); flt.Kind != "" {
+		if flt.Kind == fault.KindTorn {
+			// Torn write: a prefix reaches the temp file, then the writer
+			// dies. The commit rename never happens, which is exactly what
+			// makes the tear invisible to a reopening manager.
+			_, _ = tmp.Write(blob[:len(blob)/2])
+		}
+		tmp.Close()
+		return flt.Err
+	}
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return err
+	}
+	if flt := f.inj.Hit(fault.SitePersistSync); flt.Kind != "" {
+		tmp.Close()
+		return flt.Err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
+	if flt := f.inj.Hit(fault.SitePersistClose); flt.Kind != "" {
+		tmp.Close()
+		return flt.Err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
+	}
+	if flt := f.inj.Hit(fault.SitePersistRename); flt.Kind != "" {
+		return flt.Err
 	}
 	return os.Rename(tmp.Name(), path)
 }
 
-// saveLedger persists the manager's job table. Called with the manager
-// lock held; the write is atomic, so a kill at any instant leaves either
-// the previous or the new ledger.
-func saveLedger(dir string, jobs []ledgerJob) error {
+// saveLedger persists the manager's job table. The write is atomic, so a
+// kill at any instant leaves either the previous or the new ledger.
+func saveLedger(f fsio, dir string, jobs []ledgerJob) error {
 	blob, err := json.MarshalIndent(ledgerDoc{Version: LedgerVersion, Jobs: jobs}, "", " ")
 	if err != nil {
 		return fmt.Errorf("serve: marshal ledger: %w", err)
 	}
-	return writeFileAtomic(ledgerPath(dir), blob)
+	return f.writeFileAtomic(ledgerPath(dir), blob)
 }
 
 // loadLedger reads the ledger, mapping a missing file to an empty ledger
@@ -103,13 +136,13 @@ func loadLedger(dir string) ([]ledgerJob, error) {
 }
 
 // saveResult persists a finished job's artifact.
-func saveResult(dir, id string, res *JobResult) error {
+func saveResult(f fsio, dir, id string, res *JobResult) error {
 	blob, err := json.MarshalIndent(res, "", " ")
 	if err != nil {
 		return fmt.Errorf("serve: marshal result: %w", err)
 	}
 	blob = append(blob, '\n')
-	return writeFileAtomic(resultPath(dir, id), blob)
+	return f.writeFileAtomic(resultPath(dir, id), blob)
 }
 
 // loadResult reads a finished job's artifact back after a restart.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gevo/internal/core"
+	"gevo/internal/fault"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/obs"
@@ -48,6 +49,16 @@ type Options struct {
 	// JournalCap bounds the trace-event flight recorder
 	// (0 = obs.DefaultJournalCap).
 	JournalCap int
+	// MaxActiveJobs bounds queued+running jobs (0 = unlimited). A
+	// submission that would create a new job beyond the bound is shed with
+	// an *OverloadedError (the HTTP layer answers 429 + Retry-After);
+	// submissions that attach to an existing job or answer from the result
+	// cache are always admitted — they cost nothing to serve.
+	MaxActiveJobs int
+	// Inject is the fault injector wired through the manager's failure
+	// domains: the shared eval pool's dispatch site and every step of the
+	// persistence shim (nil = injection off, the production default).
+	Inject *fault.Injector
 }
 
 func (o *Options) fill() {
@@ -87,6 +98,22 @@ type Manager struct {
 	eventsPublished *obs.Counter
 	ledgerWrites    *obs.Counter
 	ledgerSeconds   *obs.Histogram
+	ledgerErrors    *obs.Counter
+	persistRetries  *obs.Counter
+	shedTotal       *obs.Counter
+	ckptCorrupt     *obs.Counter
+
+	// fs is the persistence shim every durable write goes through; its
+	// injector is nil in production. Read-only after Open.
+	fs fsio
+
+	healthMu sync.Mutex
+	// degraded marks the persister in degraded mode — durable writes are
+	// failing and being retried; guarded by healthMu.
+	degraded bool
+	// degradedReason is the newest persist error while degraded; guarded
+	// by healthMu.
+	degradedReason string
 
 	// workloads shares one instance per registered name across jobs, so
 	// the pool's per-instance cache namespace deduplicates evaluations
@@ -138,8 +165,11 @@ func Open(opts Options) (*Manager, error) {
 		cache:     newResultCache(opts.CacheSize),
 		wake:      make(chan struct{}, 1),
 		stopc:     make(chan struct{}),
+		fs:        fsio{inj: opts.Inject},
 	}
+	m.pool.SetInjector(opts.Inject)
 	m.initObs()
+	m.pool.AttachSink(m.col)
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return nil, err
@@ -178,6 +208,20 @@ func (m *Manager) initObs() {
 	m.eventsPublished = m.reg.Counter("gevo_serve_events_published_total", "Progress/terminal events published to SSE subscribers.")
 	m.ledgerWrites = m.reg.Counter("gevo_serve_ledger_writes_total", "Ledger snapshots written by the persister.")
 	m.ledgerSeconds = m.reg.Histogram("gevo_serve_ledger_write_seconds", "Wall time of one durable ledger write.", nil)
+	m.ledgerErrors = m.reg.Counter("gevo_ledger_errors_total", "Durable write failures (ledger and result documents); each is retried with capped backoff.")
+	m.persistRetries = m.reg.Counter("gevo_serve_persist_retries_total", "Durable write retry attempts.")
+	m.shedTotal = m.reg.Counter("gevo_serve_shed_total", "Submissions shed by admission control (max active jobs).")
+	m.ckptCorrupt = m.reg.Counter("gevo_serve_checkpoint_corrupt_total", "Corrupt checkpoints quarantined aside at search open.")
+	m.reg.GaugeFunc("gevo_serve_degraded", "1 while the persister is in degraded mode (durable writes failing), else 0.",
+		func() float64 {
+			m.healthMu.Lock()
+			defer m.healthMu.Unlock()
+			if m.degraded {
+				return 1
+			}
+			return 0
+		})
+	m.opts.Inject.Register(m.reg)
 	m.reg.GaugeFunc("gevo_serve_executors", "Configured slice concurrency.",
 		func() float64 { return float64(m.opts.Executors) })
 	m.reg.GaugeFunc("gevo_serve_cached_results", "LRU result-cache occupancy.",
@@ -294,6 +338,18 @@ func (m *Manager) wakeup() {
 	}
 }
 
+// OverloadedError is Submit's admission-control rejection: the manager is
+// at its configured max active jobs and the spec matched neither a live
+// job nor a cached result. The HTTP layer maps it to 429 + Retry-After;
+// submissions are content-addressed, so a client retry is idempotent.
+type OverloadedError struct {
+	Active, Max int
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: at max active jobs (%d/%d), retry later", e.Active, e.Max)
+}
+
 // Submit registers a job for the spec, returning its status. Identical
 // specs coalesce: while a job for the same content key is queued or
 // running, the submission attaches to it (single-flight); once done, the
@@ -351,7 +407,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			}
 		}
 		if m.opts.Dir != "" {
-			if err := saveResult(m.opts.Dir, id, res); err != nil {
+			if err := m.saveResultRetry(id, res); err != nil {
 				delete(m.jobs, id)
 				m.order = m.order[:len(m.order)-1]
 				return JobStatus{}, err
@@ -359,6 +415,20 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		}
 		m.persistLocked()
 		return j.status(), nil
+	}
+	// Admission control: only the creation of a new job is bounded —
+	// dedup attachments and cache hits above are always admitted.
+	if m.opts.MaxActiveJobs > 0 {
+		active := 0
+		for _, j := range m.jobs {
+			if !j.state.Terminal() {
+				active++
+			}
+		}
+		if active >= m.opts.MaxActiveJobs {
+			m.shedTotal.Inc()
+			return JobStatus{}, &OverloadedError{Active: active, Max: m.opts.MaxActiveJobs}
+		}
 	}
 	j := &job{
 		id: id, key: key, spec: spec,
@@ -442,6 +512,10 @@ type Stats struct {
 	Executors int `json:"executors"`
 	// CachedResults is the LRU result-cache occupancy.
 	CachedResults int `json:"cached_results"`
+	// Health is the failure-domain summary ("ok" or "degraded").
+	Health Health `json:"health"`
+	// Shed counts submissions rejected by admission control.
+	Shed int64 `json:"shed"`
 	// Pool samples the shared evaluation pool's gauges.
 	Pool core.PoolStats `json:"pool"`
 }
@@ -458,6 +532,8 @@ func (m *Manager) Stats() Stats {
 		st.Jobs[string(j.state)]++
 	}
 	m.mu.Unlock()
+	st.Health = m.Health()
+	st.Shed = m.shedTotal.Value()
 	st.Pool = m.pool.Stats()
 	return st
 }
@@ -601,23 +677,35 @@ func (m *Manager) runSlice(j *job) {
 // openSearch builds the job's island search: from the job's checkpoint
 // when one exists (resume), from the spec otherwise. Both paths attach the
 // manager's shared pool.
+//
+// Checkpoint failure handling distinguishes the three load outcomes: a
+// missing file is a fresh start (first slice ever); a checkpoint that
+// fails to parse, carries the wrong version, or does not match its job is
+// quarantined — renamed aside to checkpoint.json.corrupt, counted in
+// gevo_serve_checkpoint_corrupt_total, noted on the job status — and the
+// search restarts from the spec, which is loud where it used to be silent
+// but equally deterministic: a restarted search replays to the exact same
+// result.
 func (m *Manager) openSearch(j *job) error {
 	w, err := m.workloadFor(j.spec.Workload)
 	if err != nil {
 		return err
 	}
 	if m.opts.Dir != "" {
-		if cp, err := island.Load(checkpointPath(m.opts.Dir, j.id)); err == nil {
-			s, err := island.RestoreWithPool(w, cp, m.pool)
-			if err != nil {
-				return fmt.Errorf("resume: %w", err)
+		cpath := checkpointPath(m.opts.Dir, j.id)
+		cp, err := island.Load(cpath)
+		if err == nil {
+			s, rerr := island.RestoreWithPool(w, cp, m.pool)
+			if rerr == nil {
+				s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
+				j.search = s
+				j.lastEventGen = s.Generation()
+				return nil
 			}
-			s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
-			j.search = s
-			j.lastEventGen = s.Generation()
-			return nil
-		} else if !os.IsNotExist(err) {
-			return fmt.Errorf("resume: %w", err)
+			err = rerr
+		}
+		if err != nil && !os.IsNotExist(err) {
+			m.quarantineCheckpoint(j, cpath, err)
 		}
 	}
 	s, err := island.New(w, j.spec.islandConfig(m.pool))
@@ -627,6 +715,22 @@ func (m *Manager) openSearch(j *job) error {
 	s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
 	j.search = s
 	return nil
+}
+
+// quarantineCheckpoint moves an unusable checkpoint aside and records the
+// event, so corruption is investigable (the bytes survive) and visible
+// (metric, trace event, job warning) instead of silently erased by the
+// fresh search's first checkpoint write.
+func (m *Manager) quarantineCheckpoint(j *job, cpath string, cause error) {
+	_ = os.Rename(cpath, cpath+".corrupt")
+	m.ckptCorrupt.Inc()
+	m.col.Emit(obs.Event{Type: "job.checkpoint_corrupt", Attrs: []obs.Attr{
+		obs.A("job", j.id), obs.A("cause", cause.Error()),
+	}})
+	m.mu.Lock()
+	j.warnings = append(j.warnings,
+		fmt.Sprintf("checkpoint unusable (%v); quarantined to checkpoint.json.corrupt, search restarted from generation 0", cause))
+	m.mu.Unlock()
 }
 
 // buildResult summarizes a finished search, including the CLI-equivalent
@@ -674,7 +778,7 @@ func (m *Manager) buildResult(j *job) (*JobResult, error) {
 // re-finalized identically on resume.
 func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 	if state == StateDone && m.opts.Dir != "" {
-		if err := saveResult(m.opts.Dir, j.id, res); err != nil {
+		if err := m.saveResultRetry(j.id, res); err != nil {
 			state, errMsg, res = StateFailed, fmt.Sprintf("persist result: %v", err), nil
 		}
 	}
@@ -747,6 +851,86 @@ func (m *Manager) pruneLocked() {
 	}
 }
 
+// Health is the manager's failure-domain summary: "ok", or "degraded"
+// while durable writes are failing and being retried. Degradation is a
+// report, not a stop — jobs keep running, checkpoints keep the search
+// resumable, and the state heals to ok on the next successful write.
+type Health struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health samples the degraded-mode state machine.
+func (m *Manager) Health() Health {
+	m.healthMu.Lock()
+	defer m.healthMu.Unlock()
+	if m.degraded {
+		return Health{Status: "degraded", Reason: m.degradedReason}
+	}
+	return Health{Status: "ok"}
+}
+
+// setDegraded flips the manager into (or refreshes) degraded mode after a
+// durable write failure.
+func (m *Manager) setDegraded(err error) {
+	m.healthMu.Lock()
+	was := m.degraded
+	m.degraded = true
+	m.degradedReason = err.Error()
+	m.healthMu.Unlock()
+	if !was {
+		m.col.Emit(obs.Event{Type: "serve.degraded", Attrs: []obs.Attr{obs.A("reason", err.Error())}})
+	}
+}
+
+// clearDegraded returns the manager to ok after a successful durable write.
+func (m *Manager) clearDegraded() {
+	m.healthMu.Lock()
+	was := m.degraded
+	m.degraded = false
+	m.degradedReason = ""
+	m.healthMu.Unlock()
+	if was {
+		m.col.Emit(obs.Event{Type: "serve.recovered"})
+	}
+}
+
+// persistBackoff is the deterministic capped backoff between durable-write
+// retries: 5ms doubling to a 250ms cap, a fixed function of the attempt
+// number — no jitter, so a fault schedule replays identically.
+func persistBackoff(attempt int) time.Duration {
+	d := 5 * time.Millisecond << attempt
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+// resultWriteAttempts bounds the synchronous retry of a result-document
+// write before the failure is surfaced (the persister's ledger retry, by
+// contrast, never gives up — the ledger is rewritten on every change).
+const resultWriteAttempts = 5
+
+// saveResultRetry writes a result document with capped deterministic
+// backoff, tracking the degraded-mode state machine: failures flip the
+// manager degraded, success clears it.
+func (m *Manager) saveResultRetry(id string, res *JobResult) error {
+	var err error
+	for attempt := 0; attempt < resultWriteAttempts; attempt++ {
+		if attempt > 0 {
+			m.persistRetries.Inc()
+			time.Sleep(persistBackoff(attempt - 1))
+		}
+		if err = saveResult(m.fs, m.opts.Dir, id, res); err == nil {
+			m.clearDegraded()
+			return nil
+		}
+		m.ledgerErrors.Inc()
+		m.setDegraded(err)
+	}
+	return err
+}
+
 // persistLocked marks the ledger dirty (no-op without a state directory);
 // the persister goroutine performs the actual write. Mutations are
 // therefore durable within one persister round trip of happening, not
@@ -764,19 +948,46 @@ func (m *Manager) persistLocked() {
 }
 
 // persister serializes all ledger writes and pruned-directory removals.
-// Persist failures are deliberately swallowed: the ledger is rewritten on
-// every state change, so a transient write error heals on the next one,
-// and failing live jobs over a bookkeeping hiccup would be worse than a
-// stale ledger (the checkpoint files, not the ledger, carry search state).
+// A failed write flips the manager into degraded mode and is retried with
+// capped deterministic backoff until it lands — never silently dropped:
+// the ledger is the restart picture, and while it is stale the operator
+// sees degraded in /healthz, /stats and gevo_serve_degraded. Live jobs are
+// never failed over a bookkeeping write — the checkpoint files, not the
+// ledger, carry search state — and a success (each attempt snapshots the
+// then-current table) heals the state machine back to ok.
 func (m *Manager) persister() {
 	defer close(m.persisterDone)
+	// maxAttempts 0 = retry until success; shutdown bounds the flush so
+	// Close never spins forever on a dead disk.
+	writeUntilDurable := func(maxAttempts int) {
+		for attempt := 0; ; attempt++ {
+			err := m.writeLedger()
+			if err == nil {
+				m.clearDegraded()
+				return
+			}
+			m.ledgerErrors.Inc()
+			m.setDegraded(err)
+			if maxAttempts > 0 && attempt+1 >= maxAttempts {
+				return
+			}
+			m.persistRetries.Inc()
+			select {
+			case <-time.After(persistBackoff(attempt)):
+			case <-m.persistStop:
+				// Stop requested mid-retry: allow one more attempt, then
+				// hand back to the outer loop's final flush.
+				maxAttempts = attempt + 2
+			}
+		}
+	}
 	for {
 		select {
 		case <-m.dirty:
-			m.writeLedger()
+			writeUntilDurable(0)
 		case <-m.persistStop:
 			// Final flush so a graceful close leaves the freshest picture.
-			m.writeLedger()
+			writeUntilDurable(2)
 			return
 		}
 	}
@@ -784,10 +995,11 @@ func (m *Manager) persister() {
 
 // writeLedger snapshots the job table under the lock, then writes and
 // cleans up outside it. Pruned directories are removed only after the
-// ledger that no longer lists them is durable; a crash between the two
-// leaves orphan directories, which are harmless and bounded by the crash
-// count.
-func (m *Manager) writeLedger() {
+// ledger that no longer lists them is durable — a failed write re-queues
+// the removals untouched, so a prune is never half-applied; a crash
+// between write and removal leaves orphan directories, which are harmless
+// and bounded by the crash count.
+func (m *Manager) writeLedger() error {
 	m.mu.Lock()
 	jobs := make([]ledgerJob, 0, len(m.order))
 	for _, id := range m.order {
@@ -806,12 +1018,21 @@ func (m *Manager) writeLedger() {
 	m.mu.Unlock()
 
 	start := time.Now()
-	_ = saveLedger(m.opts.Dir, jobs)
+	err := saveLedger(m.fs, m.opts.Dir, jobs)
+	if err != nil {
+		// The prune stays pending until the ledger that no longer lists
+		// these jobs is durable.
+		m.mu.Lock()
+		m.pendingRemove = append(remove, m.pendingRemove...)
+		m.mu.Unlock()
+		return err
+	}
 	m.ledgerWrites.Inc()
 	m.ledgerSeconds.Observe(time.Since(start).Seconds())
 	for _, id := range remove {
 		_ = os.RemoveAll(jobDir(m.opts.Dir, id))
 	}
+	return nil
 }
 
 // genPoints extracts the ring-wide per-generation trajectory newer than

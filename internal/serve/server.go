@@ -2,10 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"gevo/internal/fault"
 )
 
 // Server exposes a Manager over REST with SSE progress streaming:
@@ -37,6 +40,12 @@ type ServerOptions struct {
 	// ": ping" comment frame so proxies and clients do not time out a
 	// quiet stream. Zero means DefaultKeepAlive; negative disables.
 	KeepAlive time.Duration
+	// Inject arms the HTTP failure domain: each request consults the
+	// injector's http.request site before routing, and a scheduled fault
+	// answers 503 instead — the client sees exactly the transient server
+	// error its retry policy exists for. Nil (the default) costs one pointer
+	// compare per request.
+	Inject *fault.Injector
 }
 
 // DefaultKeepAlive is the SSE comment-frame interval when
@@ -69,14 +78,26 @@ func NewServerWith(m *Manager, opts ServerOptions) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
 
+// healthz reports liveness plus the degraded-mode state machine. The code
+// stays 200 either way — degraded means "running with failing durable
+// writes", and restarting such a process (what a failing healthz usually
+// triggers) would only lose the in-memory retry queue.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Health())
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f := s.opts.Inject.Hit(fault.SiteHTTPRequest); f.Kind != "" {
+		writeError(w, http.StatusServiceUnavailable, f.Err)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // apiError is the uniform error body.
 type apiError struct {
@@ -105,6 +126,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.m.Submit(spec)
 	if err != nil {
+		var over *OverloadedError
+		if errors.As(err, &over) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
