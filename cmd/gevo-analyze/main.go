@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"gevo/internal/core"
+	"gevo/internal/diag"
 	"gevo/internal/gpu"
 	"gevo/internal/workload"
 
@@ -37,16 +38,22 @@ func fatal(err error) {
 func main() {
 	junk := flag.Int("junk", 10, "neutral bloat edits to add before minimization")
 	lineage := flag.Bool("lineage", false, "run a search and print its best-improvement lineage instead of the minimization pipeline")
-	wl := flag.String("workload", "adept-v1", "workload for -lineage: "+workload.CLINames)
-	archName := flag.String("arch", "P100", "GPU for -lineage: "+strings.Join(gpu.ArchNames(), ", "))
-	pop := flag.Int("pop", 32, "population size for -lineage")
-	gens := flag.Int("gens", 40, "generations for -lineage")
-	seed := flag.Uint64("seed", 1, "search seed for -lineage")
-	workers := flag.Int("workers", 0, "parallel fitness evaluations for -lineage (0 = GOMAXPROCS)")
+	diagnose := flag.Bool("diag", false, "run a search and print a performance diagnosis of the best genome (use -gens 0 to diagnose the base program)")
+	traceOut := flag.String("trace-out", "", "with -diag, also write the per-block cost attribution as Chrome trace_event JSON to this file")
+	wl := flag.String("workload", "adept-v1", "workload for -lineage/-diag: "+workload.CLINames)
+	archName := flag.String("arch", "P100", "GPU for -lineage/-diag: "+strings.Join(gpu.ArchNames(), ", "))
+	pop := flag.Int("pop", 32, "population size for -lineage/-diag")
+	gens := flag.Int("gens", 40, "generations for -lineage/-diag")
+	seed := flag.Uint64("seed", 1, "search seed for -lineage/-diag")
+	workers := flag.Int("workers", 0, "parallel fitness evaluations for -lineage/-diag (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *lineage {
 		runLineage(*wl, *archName, *pop, *gens, *seed, *workers)
+		return
+	}
+	if *diagnose {
+		runDiag(*wl, *archName, *pop, *gens, *seed, *workers, *traceOut)
 		return
 	}
 
@@ -61,6 +68,64 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(rep)
+}
+
+// runDiag diagnoses a candidate: with -gens 0 the unmodified base program,
+// otherwise the best genome of the configured search (in which case the
+// search-health summary of the final generation is printed first). The
+// kernel report — per-block cost attribution, divergence, memory traffic,
+// timing-obliviousness, SM schedule — goes to stdout as text; -trace-out
+// additionally saves it as Chrome trace_event JSON for Perfetto.
+func runDiag(wl, archName string, pop, gens int, seed uint64, workers int, traceOut string) {
+	arch, err := gpu.ResolveArch(archName)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.ByName(wl)
+	if err != nil {
+		fatal(err)
+	}
+	var genome []core.Edit
+	if gens > 0 {
+		eng := core.NewEngine(w, core.Config{
+			Pop: pop, Generations: gens, Seed: seed, Arch: arch, Workers: workers,
+		})
+		res, err := eng.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if res.Best.Valid() {
+			genome = res.Best.Genome
+		}
+		s := eng.Stats()
+		fmt.Printf("search health after gen %d: valid %.0f%%, fitness ms [%.4f / %.4f / %.4f / %.4f / %.4f], diversity %.2f (%d distinct), entropy %.2f bits, plateau %d\n",
+			s.Gen, 100*s.ValidFrac, s.BestMs, s.Q1Ms, s.MedianMs, s.Q3Ms, s.WorstMs,
+			s.Diversity, s.Distinct, s.Entropy, s.Plateau)
+		for _, o := range s.Ops {
+			fmt.Printf("  op %-19s attempts %6d  valid %6d  improved %6d\n", o.Op, o.Attempts, o.Valid, o.Improved)
+		}
+		fmt.Println()
+	}
+	rep, err := diag.Diagnose(w, arch, genome)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gevo-analyze: wrote Chrome trace to %s\n", traceOut)
+	}
 }
 
 // runLineage runs the configured search and prints the provenance of every

@@ -1,0 +1,138 @@
+// gate.go is the bench regression gate: compare the reports a run just
+// produced against a baseline file from an earlier commit and exit nonzero
+// when any benchmark's gated metric grew beyond the tolerance. CI generates
+// the baseline and the gated run on the same machine, so the comparison is
+// noise across minutes, not across hardware.
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// gateMetricPerEval is the preferred gated metric: per-evaluation latency
+// is stabler than suite wall time (it divides out the eval count and skips
+// setup), so benchmarks that report it are gated on it.
+const gateMetricPerEval = "ms_per_eval"
+
+// gateMetric picks the metric the gate compares for one benchmark:
+// ms_per_eval when the benchmark reports it, wall_ms otherwise.
+func gateMetric(b benchResult) (string, float64) {
+	if v, ok := b.Metrics[gateMetricPerEval]; ok {
+		return gateMetricPerEval, v
+	}
+	return "wall_ms", b.WallMs
+}
+
+// regression is one gate violation: a benchmark whose gated metric exceeded
+// baseline*(1+pct/100), or that vanished from the fresh run (a disappeared
+// benchmark is a broken gate, not a pass).
+type regression struct {
+	Name   string
+	Metric string
+	Base   float64
+	Fresh  float64
+	// DeltaPct is the relative growth in percent: (fresh/base - 1) * 100.
+	// Zero for a missing benchmark/metric.
+	DeltaPct float64
+	// Missing marks a benchmark (or its gated metric) absent from the
+	// fresh report.
+	Missing bool
+}
+
+func (r regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%-22s %s missing from fresh run (baseline %.4f)", r.Name, r.Metric, r.Base)
+	}
+	return fmt.Sprintf("%-22s %s %.4f -> %.4f (+%.1f%%)", r.Name, r.Metric, r.Base, r.Fresh, r.DeltaPct)
+}
+
+// gateCheck compares fresh against baseline benchmark by benchmark and
+// returns every regression: fresh metric > baseline metric * (1+pct/100).
+// Benchmarks only present in the fresh report pass silently (new coverage
+// is not a regression); baseline entries with a non-positive metric are
+// skipped (no meaningful relative comparison exists).
+func gateCheck(baseline, fresh report, pct float64) []regression {
+	byName := make(map[string]benchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+	var out []regression
+	for _, base := range baseline.Benchmarks {
+		metric, baseVal := gateMetric(base)
+		if baseVal <= 0 {
+			continue
+		}
+		fb, ok := byName[base.Name]
+		if !ok {
+			out = append(out, regression{Name: base.Name, Metric: metric, Base: baseVal, Missing: true})
+			continue
+		}
+		var freshVal float64
+		if metric == "wall_ms" {
+			freshVal = fb.WallMs
+		} else if v, has := fb.Metrics[metric]; has {
+			freshVal = v
+		} else {
+			out = append(out, regression{Name: base.Name, Metric: metric, Base: baseVal, Missing: true})
+			continue
+		}
+		if freshVal > baseVal*(1+pct/100) {
+			out = append(out, regression{
+				Name: base.Name, Metric: metric, Base: baseVal, Fresh: freshVal,
+				DeltaPct: (freshVal/baseVal - 1) * 100,
+			})
+		}
+	}
+	return out
+}
+
+// loadReport reads a benchmark report document written by writeReport.
+func loadReport(path string) (report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return report{}, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if rep.Suite == "" {
+		return report{}, fmt.Errorf("baseline %s has no suite name", path)
+	}
+	return rep, nil
+}
+
+// runGate loads the baseline, finds the freshly produced report of the same
+// suite, and exits nonzero on any regression. The suite match means one
+// baseline file gates exactly the document it was generated from (e.g. a
+// BENCH_core.json baseline gates this run's core suite).
+func runGate(baselinePath string, pct float64, produced []report) {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var fresh *report
+	for i := range produced {
+		if produced[i].Suite == base.Suite {
+			fresh = &produced[i]
+		}
+	}
+	if fresh == nil {
+		fatal(fmt.Errorf("gate: baseline suite %q was not produced by this run (enable its output flag)", base.Suite))
+	}
+	regs := gateCheck(base, *fresh, pct)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "gevo-bench: gate ok: %s within +%.0f%% of %s (%d benchmarks)\n",
+			base.Suite, pct, baselinePath, len(base.Benchmarks))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "gevo-bench: gate FAILED: %d regression(s) beyond +%.0f%% of %s\n",
+		len(regs), pct, baselinePath)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "gevo-bench:   %s\n", r)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"gevo/internal/fault"
+)
+
+func mkReport(benchmarks ...benchResult) report {
+	return report{Suite: "gevo-bench-core", Benchmarks: benchmarks}
+}
+
+func TestGateCheck(t *testing.T) {
+	base := mkReport(
+		benchResult{Name: "sim_a", WallMs: 100, Metrics: map[string]float64{"ms_per_eval": 2.0}},
+		benchResult{Name: "walltime_only", WallMs: 50, Metrics: map[string]float64{"speedup": 3}},
+	)
+
+	t.Run("clean run passes", func(t *testing.T) {
+		fresh := mkReport(
+			benchResult{Name: "sim_a", WallMs: 400, Metrics: map[string]float64{"ms_per_eval": 2.2}},
+			benchResult{Name: "walltime_only", WallMs: 57, Metrics: map[string]float64{"speedup": 1}},
+		)
+		if regs := gateCheck(base, fresh, 15); len(regs) != 0 {
+			t.Fatalf("clean run flagged: %v", regs)
+		}
+	})
+
+	t.Run("per-eval metric preferred over wall time", func(t *testing.T) {
+		// Wall time ballooned (more evals) but per-eval latency held: pass.
+		fresh := mkReport(
+			benchResult{Name: "sim_a", WallMs: 10000, Metrics: map[string]float64{"ms_per_eval": 2.0}},
+			benchResult{Name: "walltime_only", WallMs: 50, Metrics: nil},
+		)
+		if regs := gateCheck(base, fresh, 15); len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("regression trips", func(t *testing.T) {
+		fresh := mkReport(
+			benchResult{Name: "sim_a", WallMs: 100, Metrics: map[string]float64{"ms_per_eval": 2.4}},
+			benchResult{Name: "walltime_only", WallMs: 80, Metrics: nil},
+		)
+		regs := gateCheck(base, fresh, 15)
+		if len(regs) != 2 {
+			t.Fatalf("want 2 regressions, got %v", regs)
+		}
+		if regs[0].Name != "sim_a" || regs[0].Metric != "ms_per_eval" {
+			t.Fatalf("first regression = %+v", regs[0])
+		}
+		if d := regs[0].DeltaPct; d < 19 || d > 21 {
+			t.Fatalf("sim_a delta = %.2f%%, want ~20%%", d)
+		}
+		if regs[1].Name != "walltime_only" || regs[1].Metric != "wall_ms" {
+			t.Fatalf("second regression = %+v", regs[1])
+		}
+	})
+
+	t.Run("missing benchmark is a violation", func(t *testing.T) {
+		fresh := mkReport(
+			benchResult{Name: "sim_a", Metrics: map[string]float64{"ms_per_eval": 2.0}},
+		)
+		regs := gateCheck(base, fresh, 15)
+		if len(regs) != 1 || !regs[0].Missing || regs[0].Name != "walltime_only" {
+			t.Fatalf("missing benchmark not flagged: %v", regs)
+		}
+	})
+
+	t.Run("missing metric is a violation", func(t *testing.T) {
+		fresh := mkReport(
+			benchResult{Name: "sim_a", WallMs: 1, Metrics: map[string]float64{"other": 1}},
+			benchResult{Name: "walltime_only", WallMs: 50},
+		)
+		regs := gateCheck(base, fresh, 15)
+		if len(regs) != 1 || !regs[0].Missing || regs[0].Name != "sim_a" {
+			t.Fatalf("missing metric not flagged: %v", regs)
+		}
+	})
+
+	t.Run("new fresh benchmarks pass silently", func(t *testing.T) {
+		fresh := mkReport(
+			benchResult{Name: "sim_a", Metrics: map[string]float64{"ms_per_eval": 2.0}},
+			benchResult{Name: "walltime_only", WallMs: 50},
+			benchResult{Name: "brand_new", WallMs: 9999},
+		)
+		if regs := gateCheck(base, fresh, 15); len(regs) != 0 {
+			t.Fatalf("new benchmark flagged: %v", regs)
+		}
+	})
+}
+
+// TestGateTripsOnInjectedDelay is the gate's end-to-end self-test: the same
+// benchmark, once clean as the baseline and once with a per-eval dispatch
+// delay injected, must regress beyond the 15% tolerance — the scheduled
+// slowdown shows up in the gated metric and gateCheck reports it.
+func TestGateTripsOnInjectedDelay(t *testing.T) {
+	const evals = 4
+	clean, err := benchEval(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm a 25ms stall on every dispatch; per-eval latency of the clean run
+	// is single-digit ms, so the relative growth dwarfs timer noise.
+	inj = fault.MustNew(fault.Rule{
+		Site: fault.SiteEvalDispatch, Kind: fault.KindDelay, Every: 1, Delay: 25 * time.Millisecond,
+	})
+	defer func() { inj = nil }()
+	slowed, err := benchEval(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := mkReport(clean)
+	regs := gateCheck(base, mkReport(slowed), 15)
+	if len(regs) != 1 {
+		t.Fatalf("delayed run did not trip the gate: clean %.3f ms/eval, slowed %.3f ms/eval, regs %v",
+			clean.Metrics["ms_per_eval"], slowed.Metrics["ms_per_eval"], regs)
+	}
+	if regs[0].Metric != "ms_per_eval" || regs[0].DeltaPct <= 15 {
+		t.Fatalf("unexpected regression shape: %+v", regs[0])
+	}
+	// And the clean run against itself passes.
+	if regs := gateCheck(base, base, 15); len(regs) != 0 {
+		t.Fatalf("self-comparison flagged: %v", regs)
+	}
+}

@@ -17,6 +17,13 @@
 //
 //	gevo-bench -out BENCH_islands.json -core-out BENCH_core.json
 //	gevo-bench -out -          # write search benchmarks to stdout
+//
+// With -baseline it doubles as a regression gate: the fresh run of the
+// baseline's suite is compared benchmark by benchmark (ms_per_eval when
+// reported, wall_ms otherwise) and the process exits nonzero when any
+// metric grew more than -gate-pct percent:
+//
+//	gevo-bench -baseline BENCH_core.json -gate-pct 15
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 	"time"
 
 	"gevo/internal/core"
+	"gevo/internal/diag"
+	"gevo/internal/fault"
 	"gevo/internal/gpu"
 	"gevo/internal/island"
 	"gevo/internal/kernels"
@@ -63,6 +72,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// inj arms the benchmark evaluation loops' eval.dispatch fault site (nil =
+// off, the default). The gate's own regression test injects a per-eval
+// delay here and asserts the gate trips; see README "Bench regression
+// gate".
+var inj *fault.Injector
+
 // benchEval measures raw base-program evaluation throughput on ADEPT-V1.
 func benchEval(evals int) (benchResult, error) {
 	w, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11, FitPairs: 2})
@@ -71,6 +86,7 @@ func benchEval(evals int) (benchResult, error) {
 	}
 	start := time.Now()
 	for i := 0; i < evals; i++ {
+		inj.Hit(fault.SiteEvalDispatch)
 		if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
 			return benchResult{}, err
 		}
@@ -172,6 +188,7 @@ func benchSimulator(name string, w workload.Workload, evals int) (benchResult, e
 		}
 		start := time.Now()
 		for i := 0; i < evals; i++ {
+			inj.Hit(fault.SiteEvalDispatch)
 			if _, err := w.Evaluate(w.Base(), gpu.P100); err != nil {
 				return 0, err
 			}
@@ -282,6 +299,7 @@ func benchCacheHealth() (benchResult, error) {
 		return benchResult{}, err
 	}
 	pool := core.NewEvalPool(0)
+	pool.SetInjector(inj)
 	gpuBefore := gpuCounters()
 	eng := core.NewEngine(w, core.Config{
 		Pop: 12, Generations: 8, Seed: 1, Arch: gpu.P100,
@@ -532,7 +550,20 @@ func main() {
 	synthOut := flag.String("synth-out", "BENCH_synth.json", "scenario-suite output file ('' to skip, '-' for stdout)")
 	synthSeeds := flag.Int("synth-seeds", 3, "scenario seeds searched per family for the speedup distribution")
 	synthGens := flag.Int("synth-gens", 8, "generations per synth search")
+	baseline := flag.String("baseline", "", "regression gate: baseline report JSON (e.g. BENCH_core.json); exit nonzero when the fresh run of the same suite regresses")
+	gatePct := flag.Float64("gate-pct", 15, "allowed metric growth over the baseline, percent")
+	faults := flag.String("faults", "", "arm the eval.dispatch fault site in the benchmark loops, e.g. 'eval.dispatch:delay=5ms/1' (gate self-test; '' = off)")
+	traceOut := flag.String("trace", "", "also write the ADEPT-V1 kernel diagnosis as Chrome trace_event JSON to this file (Perfetto artifact)")
 	flag.Parse()
+
+	if *faults != "" {
+		var err error
+		if inj, err = fault.Parse(*faults); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gevo-bench: fault injection armed: %s\n", *faults)
+	}
+	var produced []report
 
 	if *coreOut != "" {
 		rep := report{
@@ -549,6 +580,7 @@ func main() {
 		if err := writeReport(rep, *coreOut); err != nil {
 			fatal(err)
 		}
+		produced = append(produced, rep)
 	}
 
 	if *synthOut != "" {
@@ -566,6 +598,7 @@ func main() {
 		if err := writeReport(rep, *synthOut); err != nil {
 			fatal(err)
 		}
+		produced = append(produced, rep)
 	}
 
 	if *serveOut != "" {
@@ -588,31 +621,67 @@ func main() {
 		if err := writeReport(rep, *serveOut); err != nil {
 			fatal(err)
 		}
+		produced = append(produced, rep)
 	}
 
-	if *out == "" {
-		return
-	}
-	rep := report{
-		Suite:      "gevo-bench",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		UnixMs:     time.Now().UnixMilli(),
-	}
-	for _, run := range []func() (benchResult, error){
-		func() (benchResult, error) { return benchEval(*evals) },
-		func() (benchResult, error) { return benchSearch(*pop, *gens) },
-		func() (benchResult, error) { return benchIslands(*pop, *gens) },
-	} {
-		r, err := run()
-		if err != nil {
+	if *out != "" {
+		rep := report{
+			Suite:      "gevo-bench",
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			UnixMs:     time.Now().UnixMilli(),
+		}
+		for _, run := range []func() (benchResult, error){
+			func() (benchResult, error) { return benchEval(*evals) },
+			func() (benchResult, error) { return benchSearch(*pop, *gens) },
+			func() (benchResult, error) { return benchIslands(*pop, *gens) },
+		} {
+			r, err := run()
+			if err != nil {
+				fatal(err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.1f ms\n", r.Name, r.WallMs)
+		}
+		if err := writeReport(rep, *out); err != nil {
 			fatal(err)
 		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
-		fmt.Fprintf(os.Stderr, "gevo-bench: %-22s %8.1f ms\n", r.Name, r.WallMs)
+		produced = append(produced, rep)
 	}
 
-	if err := writeReport(rep, *out); err != nil {
-		fatal(err)
+	if *traceOut != "" {
+		if err := writeDiagTrace(*traceOut); err != nil {
+			fatal(err)
+		}
 	}
+	if *baseline != "" {
+		runGate(*baseline, *gatePct, produced)
+	}
+}
+
+// writeDiagTrace diagnoses the canonical ADEPT-V1 base program and saves
+// the per-block cost attribution as Chrome trace_event JSON — the Perfetto
+// artifact CI's bench-smoke job uploads next to the BENCH_*.json documents.
+func writeDiagTrace(path string) error {
+	w, err := workload.NewADEPT(kernels.ADEPTV1, workload.ADEPTOptions{Seed: 11, FitPairs: 2})
+	if err != nil {
+		return err
+	}
+	rep, err := diag.Diagnose(w, gpu.P100, nil)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gevo-bench: wrote %s\n", path)
+	return nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"gevo/internal/fault"
 	"gevo/internal/gpu"
+	"gevo/internal/obs"
 	"gevo/internal/serve"
 )
 
@@ -74,6 +75,8 @@ func main() {
 		fatal(err)
 	}
 	srv := &http.Server{Handler: serve.NewServerWith(m, serve.ServerOptions{EnablePprof: *enablePprof, Inject: inj})}
+	b := obs.Build()
+	fmt.Fprintf(os.Stderr, "gevo-serve: version %s (%s)\n", b.Version, b.Go)
 	fmt.Fprintf(os.Stderr, "gevo-serve: listening on http://%s (state: %s)\n", ln.Addr(), stateDesc(*dir))
 
 	done := make(chan error, 1)

@@ -9,6 +9,7 @@
 //	gevo-submit -list
 //	gevo-submit -status j0123456789abcdef
 //	gevo-submit -result j0123456789abcdef
+//	gevo-submit -diag j0123456789abcdef
 //	gevo-submit -cancel j0123456789abcdef
 //
 // Submitting the same spec twice attaches to the same job (single-flight);
@@ -44,6 +45,20 @@ func emit(v any) {
 	}
 }
 
+// printOps renders the per-operator contribution table on stderr (the JSON
+// document goes to stdout untouched, so pipelines keep working).
+func printOps(doc *serve.DiagDoc) {
+	if len(doc.Ops) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%-20s %9s %9s %9s %12s %12s\n",
+		"operator", "attempts", "valid", "improved", "discoveries", "delta_ms")
+	for _, o := range doc.Ops {
+		fmt.Fprintf(os.Stderr, "%-20s %9d %9d %9d %12d %12.4f\n",
+			o.Op, o.Attempts, o.Valid, o.Improved, o.Discoveries, o.DeltaMs)
+	}
+}
+
 func main() {
 	server := flag.String("server", "http://127.0.0.1:8080", "gevo-serve base URL")
 	wl := flag.String("workload", "adept-v0", "workload: "+workload.CLINames)
@@ -61,6 +76,7 @@ func main() {
 	status := flag.String("status", "", "show one job's status instead of submitting")
 	result := flag.String("result", "", "fetch one job's result instead of submitting")
 	cancel := flag.String("cancel", "", "cancel one job instead of submitting")
+	diagID := flag.String("diag", "", "show one job's diagnosis (operator table + kernel report) instead of submitting")
 	stats := flag.Bool("stats", false, "show server stats instead of submitting")
 	retries := flag.Int("retries", 2, "retry transient failures (connection refused, 429, 5xx) this many times")
 	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on the backoff between retries")
@@ -96,6 +112,13 @@ func main() {
 			fatal(err)
 		}
 		emit(st)
+	case *diagID != "":
+		doc, err := c.Diag(ctx, *diagID)
+		if err != nil {
+			fatal(err)
+		}
+		printOps(doc)
+		emit(doc)
 	case *stats:
 		st, err := c.Stats(ctx)
 		if err != nil {

@@ -182,15 +182,23 @@ type Engine struct {
 	pop    []Individual
 	provs  []prov
 	hist   *History
+
+	// Search-health telemetry (stats.go): stats is the last completed
+	// generation's snapshot, opAgg the cumulative per-operator counters
+	// feeding it. Maintained unconditionally so engine state is identical
+	// with or without a sink.
+	stats GenStats
+	opAgg map[string]*OpStats
 }
 
 // NewEngine creates a search engine for the workload.
 func NewEngine(w workload.Workload, cfg Config) *Engine {
 	cfg.fill()
 	e := &Engine{
-		w:   w,
-		cfg: cfg,
-		r:   rng.New(cfg.Seed),
+		w:     w,
+		cfg:   cfg,
+		r:     rng.New(cfg.Seed),
+		opAgg: make(map[string]*OpStats),
 	}
 	for i := range e.seen {
 		e.seen[i].m = make(map[string]struct{})
@@ -345,7 +353,9 @@ func (e *Engine) Step(gens int) {
 			e.hist.AddLineage(entry)
 			e.emitBest(entry)
 		}
+		e.updateStats()
 		e.emitGen()
+		e.emitStats()
 	}
 }
 

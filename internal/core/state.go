@@ -185,6 +185,11 @@ type EngineState struct {
 	Evals   int64             `json:"evals"`
 	Pop     []IndividualState `json:"pop"`
 	History HistoryState      `json:"history"`
+	// Ops carries the cumulative per-operator productivity counters
+	// (stats.go) so a resumed search reports the same search-health
+	// telemetry as an uninterrupted one. Omitted when empty, so
+	// pre-telemetry checkpoints round-trip unchanged.
+	Ops []OpStats `json:"ops,omitempty"`
 }
 
 // Snapshot captures the engine's search state. The engine must be
@@ -204,6 +209,7 @@ func (e *Engine) Snapshot() (*EngineState, error) {
 		Evals:   e.evals.Load(),
 		Pop:     make([]IndividualState, len(e.pop)),
 		History: e.hist.State(),
+		Ops:     opStatsSorted(e.opAgg),
 	}
 	for i := range e.pop {
 		st.Pop[i] = IndividualState{
@@ -241,6 +247,10 @@ func RestoreEngine(w workload.Workload, cfg Config, st *EngineState) (*Engine, e
 			Genome:  append([]Edit(nil), ind.Genome...),
 			Fitness: float64(ind.Fitness),
 		}
+	}
+	for _, o := range st.Ops {
+		o := o
+		e.opAgg[o.Op] = &o
 	}
 	e.inited = true
 	return e, nil

@@ -1,0 +1,156 @@
+package diag_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gevo/internal/diag"
+	"gevo/internal/gpu"
+	"gevo/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+const testWorkload = "synth:stencil1d:seed=1:n=32"
+
+// TestReportGolden pins the determinism contract at the byte level: the
+// canonical report for a fixed (workload, arch, genome) is a golden
+// artifact. Regenerate with -update after an intentional schema change.
+func TestReportGolden(t *testing.T) {
+	w, err := workload.ByName(testWorkload)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	r1, err := diag.Diagnose(w, gpu.P100, nil)
+	if err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+	got, err := r1.Canonical()
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	// Byte identity across runs, independent of the golden file.
+	r2, err := diag.Diagnose(w, gpu.P100, nil)
+	if err != nil {
+		t.Fatalf("diagnose (2nd run): %v", err)
+	}
+	again, err := r2.Canonical()
+	if err != nil {
+		t.Fatalf("canonical (2nd run): %v", err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatalf("report differs across runs of the same spec:\n1st:\n%s\n2nd:\n%s", got, again)
+	}
+
+	golden := filepath.Join("testdata", "report_stencil1d_seed1_base.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report diverged from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportContent sanity-checks the attribution on a kernel known to
+// have memory traffic and a boundary branch.
+func TestReportContent(t *testing.T) {
+	w, err := workload.ByName(testWorkload)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	r, err := diag.Diagnose(w, gpu.P100, nil)
+	if err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+	if len(r.Kernels) != 1 {
+		t.Fatalf("kernels = %d, want 1", len(r.Kernels))
+	}
+	k := r.Kernels[0]
+	if k.Launches == 0 || k.TotalCycles <= 0 || k.IssueCycles <= 0 {
+		t.Fatalf("empty profile: %+v", k)
+	}
+	if len(k.Mem) == 0 {
+		t.Fatalf("stencil kernel reported no memory sites")
+	}
+	if len(k.Branches) == 0 {
+		t.Fatalf("stencil kernel reported no branch sites")
+	}
+	if k.Sched.MaxResidue != 0 {
+		t.Fatalf("schedule residue %g, want exactly 0", k.Sched.MaxResidue)
+	}
+	var blockSum float64
+	for _, b := range k.Blocks {
+		blockSum += b.Cycles
+	}
+	if blockSum != k.IssueCycles {
+		t.Fatalf("block cycles sum %g != issue cycles %g", blockSum, k.IssueCycles)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("text: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("empty text rendering")
+	}
+	buf.Reset()
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("empty trace rendering")
+	}
+}
+
+// TestResidueAllWorkloads pins the acceptance invariant on every registry
+// workload (applications and default synth scenarios alike): replaying the
+// recorded per-block timings through the SM scheduler reproduces each
+// launch's makespan exactly, and the critical SM's blocks sum to it with
+// zero residue.
+func TestResidueAllWorkloads(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.ByName(name)
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			p, ok := w.(workload.Profiler)
+			if !ok {
+				t.Fatalf("workload %s does not implement Profiler", name)
+			}
+			_, profs, err := p.EvaluateProfiled(w.Base(), gpu.P100)
+			if err != nil {
+				t.Fatalf("profiled eval: %v", err)
+			}
+			if len(profs) == 0 {
+				t.Fatalf("no profiles returned")
+			}
+			launches := 0
+			for _, prof := range profs {
+				launches += len(prof.LaunchRecords())
+			}
+			if launches == 0 {
+				t.Fatalf("no launch records in profiles")
+			}
+			maxMakespan, maxCritical := diag.Residue(profs)
+			if maxMakespan != 0 {
+				t.Fatalf("makespan residue %g, want exactly 0", maxMakespan)
+			}
+			if maxCritical != 0 {
+				t.Fatalf("critical-SM residue %g, want exactly 0", maxCritical)
+			}
+		})
+	}
+}

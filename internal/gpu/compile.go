@@ -126,6 +126,19 @@ func classifyCost(op ir.Opcode) costClass {
 	}
 }
 
+// costClassNames are the diagnostic labels of the issue-cost classes.
+var costClassNames = [numCostClasses]string{
+	costALU: "alu", costDiv: "div", costFP: "fp", costConv: "conv",
+	costShfl: "shfl", costBallot: "ballot", costActiveMask: "activemask",
+	costBranch: "branch",
+}
+
+// CostClassName names the issue-cost class the opcode resolves to ("alu",
+// "div", "fp", "conv", "shfl", "ballot", "activemask", "branch"). Memory
+// operations compute cost dynamically and never read the class table;
+// callers should label them by space instead (internal/diag does).
+func CostClassName(op ir.Opcode) string { return costClassNames[classifyCost(op)] }
+
 // resolveCosts builds the issue-cost table for an architecture.
 func resolveCosts(a *Arch) [numCostClasses]float64 {
 	return [numCostClasses]float64{

@@ -331,6 +331,9 @@ func (c *blockCtx) runWarp(w *warp) error {
 					maskT |= uint32(cond[lane]&1) << lane
 				}
 				maskF := e.mask &^ maskT
+				if c.prof != nil {
+					c.prof.recordBranch(in.uid, bits.OnesCount32(e.mask), bits.OnesCount32(maskT), maskT != 0 && maskF != 0)
+				}
 				switch {
 				case maskF == 0:
 					c.account(w, in, c.costs[costBranch], e.mask)
@@ -639,6 +642,9 @@ func (c *blockCtx) execLoad(w *warp, e *simtEntry, in *cinstr) error {
 			w.regs[dst+c.lanes[i]] = loadMem(c.shared, in.typ, a)
 		}
 		c.account(w, in, c.sharedCost(n)+c.memPenalty(w), mask)
+		if c.prof != nil {
+			c.prof.recordMem(in.uid, int64(n), int64(c.sharedReplays(n)))
+		}
 		return nil
 	}
 	for i := 0; i < n; i++ {
@@ -649,6 +655,9 @@ func (c *blockCtx) execLoad(w *warp, e *simtEntry, in *cinstr) error {
 		w.regs[dst+c.lanes[i]] = v
 	}
 	c.account(w, in, c.globalCost(n)+c.memPenalty(w), mask)
+	if c.prof != nil {
+		c.prof.recordMem(in.uid, int64(n), int64(c.globalSegs(n)))
+	}
 	return nil
 }
 
@@ -668,6 +677,9 @@ func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
 			storeMem(c.shared, t, a, vals[c.lanes[i]])
 		}
 		c.account(w, in, c.sharedCost(n), mask)
+		if c.prof != nil {
+			c.prof.recordMem(in.uid, int64(n), int64(c.sharedReplays(n)))
+		}
 		return nil
 	}
 	for i := 0; i < n; i++ {
@@ -676,6 +688,9 @@ func (c *blockCtx) execStore(w *warp, e *simtEntry, in *cinstr) error {
 		}
 	}
 	c.account(w, in, c.globalCost(n), mask)
+	if c.prof != nil {
+		c.prof.recordMem(in.uid, int64(n), int64(c.globalSegs(n)))
+	}
 	return nil
 }
 
@@ -729,8 +744,12 @@ func (c *blockCtx) execAtomic(w *warp, e *simtEntry, in *cinstr) error {
 		}
 		w.regs[dst+lane] = old
 	}
-	cost := c.arch.AtomicCost + float64(maxContention(c.addrs[:n])-1)*c.arch.AtomicSerialCost
+	serial := maxContention(c.addrs[:n])
+	cost := c.arch.AtomicCost + float64(serial-1)*c.arch.AtomicSerialCost
 	c.account(w, in, cost, mask)
+	if c.prof != nil {
+		c.prof.recordMem(in.uid, int64(n), int64(serial))
+	}
 	return nil
 }
 
@@ -752,6 +771,16 @@ func (c *blockCtx) gatherAddrs(w *warp, addrArg *carg, mask uint32) int {
 // lanes hitting distinct words in the same bank serialize into replays.
 // Lanes hitting the same word broadcast (no replay).
 func (c *blockCtx) sharedCost(n int) float64 {
+	r := c.sharedReplays(n)
+	if r == 1 {
+		return c.arch.SharedLatency
+	}
+	return c.arch.SharedLatency + float64(r-1)*c.arch.SharedConflictCost
+}
+
+// sharedReplays counts the worst bank's serialized replays for the gathered
+// access (1 = conflict-free).
+func (c *blockCtx) sharedReplays(n int) int {
 	// Fast path: every bank is touched by at most one distinct word
 	// (conflict-free access or pure broadcast), the common case for
 	// well-formed kernels. One pass, no replay accounting needed.
@@ -763,17 +792,17 @@ func (c *blockCtx) sharedCost(n int) float64 {
 			seen |= 1 << b
 			c.bankWord[b] = word
 		} else if c.bankWord[b] != word {
-			return c.sharedCostSlow(n)
+			return c.sharedReplaysSlow(n)
 		}
 	}
-	return c.arch.SharedLatency
+	return 1
 }
 
-// sharedCostSlow charges replays for conflicting access patterns. It keeps
+// sharedReplaysSlow counts replays for conflicting access patterns. It keeps
 // the original model bit-identical: a lane's replay count includes every
 // earlier same-bank lane with a different word, so duplicate broadcast lanes
 // in a conflicted bank weigh into the count.
-func (c *blockCtx) sharedCostSlow(n int) float64 {
+func (c *blockCtx) sharedReplaysSlow(n int) int {
 	maxReplay := 1
 	for i := 0; i < n; i++ {
 		word := c.addrs[i] >> 2
@@ -789,12 +818,18 @@ func (c *blockCtx) sharedCostSlow(n int) float64 {
 			maxReplay = replays
 		}
 	}
-	return c.arch.SharedLatency + float64(maxReplay-1)*c.arch.SharedConflictCost
+	return maxReplay
 }
 
 // globalCost models coalescing: the warp pays for the number of distinct
 // 128-byte segments its active lanes touch.
 func (c *blockCtx) globalCost(n int) float64 {
+	return c.arch.GlobalLatency + float64(c.globalSegs(n)-1)*c.arch.GlobalTxCost
+}
+
+// globalSegs counts the distinct 128-byte segments the gathered access
+// touches (minimum 1, so an all-inactive access still pays base latency).
+func (c *blockCtx) globalSegs(n int) int {
 	segs := 0
 	for i := 0; i < n; i++ {
 		si := c.addrs[i] >> 7
@@ -817,7 +852,7 @@ func (c *blockCtx) globalCost(n int) float64 {
 	if segs == 0 {
 		segs = 1
 	}
-	return c.arch.GlobalLatency + float64(segs-1)*c.arch.GlobalTxCost
+	return segs
 }
 
 // maxContention returns the largest number of lanes targeting one address.

@@ -253,6 +253,13 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 	if cfg.Profile != nil {
 		cfg.Profile.TotalCycles += cycles
 		cfg.Profile.Launches++
+		// A non-nil profile forces the interpreter, so memo replay never
+		// fires and ls.blockCycles always holds this launch's live timings.
+		cfg.Profile.recordLaunch(LaunchRecord{
+			Grid: cfg.Grid, Block: cfg.Block, SMs: max(d.Arch.SMs, 1),
+			Cycles:      cycles,
+			BlockCycles: append([]float64(nil), ls.blockCycles...),
+		})
 	}
 	return res, nil
 }
@@ -388,6 +395,31 @@ func scheduleBlocks(blockCycles, smTime []float64) float64 {
 		}
 	}
 	return makespan
+}
+
+// ScheduleSMLoads replays the grid scheduler over a recorded block-cycle
+// vector, returning each SM's total load and each block's SM assignment.
+// It MUST mirror scheduleBlocks' greedy loop and float64 addition order
+// exactly: diagnosis relies on max(loads) equaling the recorded launch
+// makespan bit for bit, and on the critical SM's blocks summing to it with
+// zero residue.
+func ScheduleSMLoads(blockCycles []float64, sms int) (loads []float64, assign []int) {
+	if sms < 1 {
+		sms = 1
+	}
+	loads = make([]float64, sms)
+	assign = make([]int, len(blockCycles))
+	for b, bc := range blockCycles {
+		mi := 0
+		for i := 1; i < sms; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += bc
+		assign[b] = mi
+	}
+	return loads, assign
 }
 
 // PackArgs builds a LaunchConfig argument vector from typed Go values.

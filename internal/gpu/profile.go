@@ -12,6 +12,21 @@ type Profile struct {
 	cycles []float64
 	count  []int64
 	lanes  []int64
+	// Branch-divergence counters, indexed by the conditional branch's UID.
+	brExec   []int64 // warp-level issues of the branch
+	brDiv    []int64 // issues that diverged (both successors executed)
+	brActive []int64 // active lanes summed across issues
+	brTaken  []int64 // lanes that took the true successor
+	brMasked []int64 // lanes idled by divergence (smaller side of each split)
+	// Memory-traffic counters, indexed by the load/store/atomic UID. Txns
+	// counts the serialization unit of the access's space: distinct 128-byte
+	// segments for global, bank replays for shared, serialized same-address
+	// lanes for atomics.
+	memAccess []int64
+	memLanes  []int64
+	memTxns   []int64
+	// launches records per-launch block timings for grid-level attribution.
+	launches []LaunchRecord
 	// TotalCycles sums grid cycles across profiled launches.
 	TotalCycles float64
 	// BarrierCycles sums barrier-release costs (not attributed to a UID).
@@ -20,13 +35,38 @@ type Profile struct {
 	Launches int
 }
 
+// LaunchRecord captures one profiled launch's grid-level timing: the
+// per-block cycle counts in execution order and the makespan the SM
+// scheduler derived from them. Replaying ScheduleSMLoads over BlockCycles
+// reproduces Cycles exactly (same greedy loop, same float64 addition
+// order), which is what lets diagnosis attribute the launch total to SMs
+// and blocks with zero residue.
+type LaunchRecord struct {
+	// Grid and Block are the launch geometry.
+	Grid, Block int
+	// SMs is the SM count the schedule ran over (≥1).
+	SMs int
+	// Cycles is the launch makespan returned by the scheduler.
+	Cycles float64
+	// BlockCycles holds each block's execution time, in block-ID order.
+	BlockCycles []float64
+}
+
 // NewProfile creates a profile sized for the kernel's UID space.
 func NewProfile(k *Kernel) *Profile {
 	n := k.src.NextUID
 	return &Profile{
-		cycles: make([]float64, n),
-		count:  make([]int64, n),
-		lanes:  make([]int64, n),
+		cycles:    make([]float64, n),
+		count:     make([]int64, n),
+		lanes:     make([]int64, n),
+		brExec:    make([]int64, n),
+		brDiv:     make([]int64, n),
+		brActive:  make([]int64, n),
+		brTaken:   make([]int64, n),
+		brMasked:  make([]int64, n),
+		memAccess: make([]int64, n),
+		memLanes:  make([]int64, n),
+		memTxns:   make([]int64, n),
 	}
 }
 
@@ -37,6 +77,83 @@ func (p *Profile) record(uid int32, cost float64, lanes int64) {
 		p.lanes[uid] += lanes
 	}
 }
+
+// recordBranch accumulates one conditional-branch issue: active lanes at
+// issue, lanes taking the true successor, and whether the warp diverged.
+func (p *Profile) recordBranch(uid int32, active, taken int, divergent bool) {
+	if int(uid) >= len(p.brExec) {
+		return
+	}
+	p.brExec[uid]++
+	p.brActive[uid] += int64(active)
+	p.brTaken[uid] += int64(taken)
+	if divergent {
+		p.brDiv[uid]++
+		masked := taken
+		if other := active - taken; other < masked {
+			masked = other
+		}
+		p.brMasked[uid] += int64(masked)
+	}
+}
+
+// recordMem accumulates one warp-level memory access: active lanes and the
+// space's serialization count (segments, replays, or atomic contention).
+func (p *Profile) recordMem(uid int32, lanes, txns int64) {
+	if int(uid) >= len(p.memAccess) {
+		return
+	}
+	p.memAccess[uid]++
+	p.memLanes[uid] += lanes
+	p.memTxns[uid] += txns
+}
+
+// recordLaunch appends one launch's grid-level timing record.
+func (p *Profile) recordLaunch(rec LaunchRecord) {
+	p.launches = append(p.launches, rec)
+}
+
+// BranchStat is the accumulated divergence behaviour of one conditional
+// branch site.
+type BranchStat struct {
+	// Exec is the warp-level issue count; Div how many issues diverged.
+	Exec, Div int64
+	// Active sums active lanes across issues; Taken the lanes that took the
+	// true successor; Masked the lanes idled by divergence (the smaller
+	// side of each divergent split — the wasted lockstep work).
+	Active, Taken, Masked int64
+}
+
+// BranchStat returns the divergence counters for the branch with the UID.
+func (p *Profile) BranchStat(uid int) BranchStat {
+	if uid < 0 || uid >= len(p.brExec) {
+		return BranchStat{}
+	}
+	return BranchStat{
+		Exec: p.brExec[uid], Div: p.brDiv[uid],
+		Active: p.brActive[uid], Taken: p.brTaken[uid], Masked: p.brMasked[uid],
+	}
+}
+
+// MemStat is the accumulated traffic of one load/store/atomic site.
+type MemStat struct {
+	// Access is the warp-level access count; Lanes the active lanes summed
+	// across accesses; Txns the serialization units paid (global 128-byte
+	// segments, shared bank replays, or serialized atomic lanes).
+	Access, Lanes, Txns int64
+}
+
+// MemStat returns the traffic counters for the memory site with the UID.
+func (p *Profile) MemStat(uid int) MemStat {
+	if uid < 0 || uid >= len(p.memAccess) {
+		return MemStat{}
+	}
+	return MemStat{Access: p.memAccess[uid], Lanes: p.memLanes[uid], Txns: p.memTxns[uid]}
+}
+
+// LaunchRecords returns the per-launch grid timing records in launch order.
+// The slice is the profile's own; callers must not mutate it.
+func (p *Profile) LaunchRecords() []LaunchRecord { return p.launches }
 
 // Cycles returns the cycles attributed to the instruction with the UID.
 func (p *Profile) Cycles(uid int) float64 {

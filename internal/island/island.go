@@ -336,6 +336,18 @@ func (s *Search) Progress() Progress {
 	return p
 }
 
+// DemeStats returns each deme's latest search-health snapshot in ring
+// order — the per-deme aggregation behind an orchestrator's diagnosis
+// endpoint. Call it between rounds (deme stats are only consistent at
+// round barriers).
+func (s *Search) DemeStats() []core.GenStats {
+	out := make([]core.GenStats, len(s.demes))
+	for i, d := range s.demes {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
 // Run drives rounds to the generation budget and returns the result.
 func (s *Search) Run() (*Result, error) {
 	for !s.Done() {

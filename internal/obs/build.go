@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the module version (or the VCS
+// revision for a source build), whether the working tree was modified, and
+// the Go toolchain. It is read once from runtime/debug.ReadBuildInfo.
+type BuildInfo struct {
+	// Version is the main module's version, the short VCS revision when
+	// the module version is (devel), or "unknown" outside module builds
+	// (e.g. some test binaries).
+	Version string `json:"version"`
+	// Revision is the full VCS revision when stamped ("" otherwise).
+	Revision string `json:"revision,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified bool `json:"modified,omitempty"`
+	// Go is the toolchain version the binary was built with.
+	Go string `json:"go"`
+}
+
+var buildOnce = sync.OnceValue(func() BuildInfo {
+	b := BuildInfo{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Go = bi.GoVersion
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+			if b.Version == "unknown" && len(s.Value) >= 12 {
+				b.Version = s.Value[:12]
+			}
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+})
+
+// Build returns the binary's build identity (cached after the first call).
+func Build() BuildInfo { return buildOnce() }
+
+// RegisterBuildInfo registers the conventional gevo_build_info gauge: a
+// constant 1 whose labels carry the build identity, so dashboards can join
+// any other series against the deployed version.
+func (r *Registry) RegisterBuildInfo() {
+	b := Build()
+	r.GaugeFunc(Labels("gevo_build_info", "version", b.Version, "go", b.Go),
+		"Build identity of the running binary; the value is always 1.",
+		func() float64 { return 1 })
+}

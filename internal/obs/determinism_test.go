@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gevo/internal/core"
+	"gevo/internal/diag"
 	"gevo/internal/gpu"
 	"gevo/internal/obs"
 	"gevo/internal/workload"
@@ -45,14 +46,47 @@ func runSearch(t *testing.T, sink obs.Sink) *core.EngineState {
 	return st
 }
 
+// runDiagnosedSearch is runSearch with the full observability surface
+// active: a sink attached and per-candidate diagnosis run on the current
+// best genome after every generation, the way an operator polling
+// /jobs/{id}/diag would. Diagnosis re-evaluates through its own profiled
+// path, so it must not perturb the search.
+func runDiagnosedSearch(t *testing.T, sink obs.Sink) *core.EngineState {
+	t.Helper()
+	w, err := workload.ByName(testWorkload)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	cfg := searchConfig(sink)
+	eng := core.NewEngine(w, cfg)
+	if err := eng.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	for g := 0; g < cfg.Generations; g++ {
+		eng.Step(1)
+		if best := eng.Best(1); len(best) == 1 && best[0].Valid() {
+			if _, err := diag.Diagnose(w, cfg.Arch, best[0].Genome); err != nil {
+				t.Fatalf("diagnose at gen %d: %v", g+1, err)
+			}
+		}
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return st
+}
+
 // TestSinkBitIdentity pins the determinism contract: the complete search
 // state after a fixed-seed run — population, RNG position, history,
-// lineage — is byte-identical with a collector attached and with no sink
-// at all. Tracing observes; it never participates.
+// lineage, operator counters — is byte-identical with a collector
+// attached, with no sink at all, and with per-generation candidate
+// diagnosis interleaved. Observability observes; it never participates.
 func TestSinkBitIdentity(t *testing.T) {
 	col := obs.NewCollector(obs.NewRegistry(), 1024)
 	withSink := runSearch(t, col)
 	without := runSearch(t, nil)
+	diagnosed := runDiagnosedSearch(t, obs.NewCollector(obs.NewRegistry(), 1024))
 
 	a, err := json.Marshal(withSink)
 	if err != nil {
@@ -62,8 +96,15 @@ func TestSinkBitIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
+	c, err := json.Marshal(diagnosed)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("fixed-seed search state differs with sink attached:\nwith:    %s\nwithout: %s", a, b)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatalf("fixed-seed search state differs with diagnosis interleaved:\nplain:     %s\ndiagnosed: %s", a, c)
 	}
 	if len(col.Records()) == 0 {
 		t.Fatalf("collector journaled no events — sink was not wired through")

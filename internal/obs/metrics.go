@@ -286,6 +286,42 @@ func (r *Registry) Snapshot() []Series {
 	return out
 }
 
+// labelEscaper escapes a label value per the Prometheus text exposition
+// format 0.0.4: backslash, double-quote and line feed. Everything else is
+// raw UTF-8.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes a label value for the text exposition format.
+func EscapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// Labels builds a series name with a fixed label set, escaping each value:
+// Labels("x", "a", "b") == `x{a="b"}`. Arguments after the name are
+// key/value pairs; keys must already be valid label names (they are taken
+// as given), values are escaped per EscapeLabel.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// helpEscaper escapes a # HELP docstring per the text exposition format
+// 0.0.4: backslash and line feed (quotes are legal raw in help text).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // baseName strips a fixed label set from a series name: the # HELP/# TYPE
 // lines describe the metric family, not one labeled child.
 func baseName(name string) string {
@@ -331,7 +367,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		base := baseName(s.Name)
 		if base != prevBase {
 			if s.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, s.Help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, helpEscaper.Replace(s.Help)); err != nil {
 					return err
 				}
 			}

@@ -208,6 +208,17 @@ func (c *Client) Result(ctx context.Context, id string) (*serve.JobResult, error
 	return &res, nil
 }
 
+// Diag fetches a job's diagnosis document: search-health stats, the
+// per-operator contribution table, and the kernel report for the ring-best
+// genome when one is available.
+func (c *Client) Diag(ctx context.Context, id string) (*serve.DiagDoc, error) {
+	var doc serve.DiagDoc
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/diag", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
 // Stats samples the server.
 func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
 	var st serve.Stats

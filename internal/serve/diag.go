@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"gevo/internal/core"
+	"gevo/internal/diag"
+	"gevo/internal/gpu"
+)
+
+// DiagDoc is the GET /jobs/{id}/diag document: the job's status, its
+// latest per-deme search-health snapshot, the per-operator contribution
+// table, and (when a best genome is known in this process) a full kernel
+// diagnosis report for it.
+type DiagDoc struct {
+	Job JobStatus `json:"job"`
+	// Stats is the latest per-deme search-health snapshot in ring order.
+	// Empty for jobs recovered from the ledger that have not run a slice
+	// in this process.
+	Stats []core.GenStats `json:"stats,omitempty"`
+	// Ops merges the cumulative per-operator productivity across demes
+	// with the best-ever discoveries attributed by the result's lineage.
+	Ops []OpContribution `json:"ops,omitempty"`
+	// Report is the kernel diagnosis of the current (or final) ring-best
+	// genome on its home architecture; ReportError explains its absence.
+	Report      *diag.Report `json:"report,omitempty"`
+	ReportError string       `json:"report_error,omitempty"`
+}
+
+// OpContribution is one row of the per-operator table: how often the
+// operator ran, how often its offspring were valid or beat their parent
+// (summed over demes), and how much best-ever fitness gain the winning
+// deme's lineage attributes to it.
+type OpContribution struct {
+	Op       string `json:"op"`
+	Attempts int64  `json:"attempts"`
+	Valid    int64  `json:"valid"`
+	Improved int64  `json:"improved"`
+	// Discoveries counts best-ever improvements the winning deme's lineage
+	// attributes to the operator; DeltaMs totals their fitness gain.
+	Discoveries int     `json:"discoveries,omitempty"`
+	DeltaMs     float64 `json:"delta_ms,omitempty"`
+}
+
+// opContributions merges per-deme operator counters with lineage-attributed
+// discoveries into one table sorted by operator name.
+func opContributions(stats []core.GenStats, lineage []LineageLine) []OpContribution {
+	byOp := make(map[string]*OpContribution)
+	var order []string
+	row := func(op string) *OpContribution {
+		c := byOp[op]
+		if c == nil {
+			c = &OpContribution{Op: op}
+			byOp[op] = c
+			order = append(order, op)
+		}
+		return c
+	}
+	for _, s := range stats {
+		for _, o := range s.Ops {
+			c := row(o.Op)
+			c.Attempts += o.Attempts
+			c.Valid += o.Valid
+			c.Improved += o.Improved
+		}
+	}
+	for _, l := range lineage {
+		c := row(l.Op)
+		c.Discoveries++
+		c.DeltaMs += l.DeltaMs
+	}
+	sort.Strings(order)
+	out := make([]OpContribution, len(order))
+	for i, op := range order {
+		out[i] = *byOp[op]
+	}
+	return out
+}
+
+// Diag builds the diagnosis document for a job. The kernel report runs a
+// profiled re-evaluation of the best genome synchronously — one extra
+// fitness evaluation through the reference interpreter, off the search
+// path, so polling diagnosis never perturbs results.
+func (m *Manager) Diag(id string) (*DiagDoc, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("serve: no job %q", id)
+	}
+	doc := &DiagDoc{Job: j.status()}
+	doc.Stats = append([]core.GenStats(nil), j.stats...)
+	genome := append([]core.Edit(nil), j.bestGenome...)
+	haveBest := j.bestGenome != nil
+	arch := j.bestArch
+	var lineage []LineageLine
+	if j.result != nil {
+		lineage = j.result.Lineage
+	}
+	workloadName := j.spec.Workload
+	m.mu.Unlock()
+
+	doc.Ops = opContributions(doc.Stats, lineage)
+	if !haveBest {
+		doc.ReportError = "no valid best genome observed in this process yet"
+		return doc, nil
+	}
+	w, err := m.workloadFor(workloadName)
+	if err != nil {
+		doc.ReportError = err.Error()
+		return doc, nil
+	}
+	rep, err := diag.Diagnose(w, gpu.ArchByName(arch), genome)
+	if err != nil {
+		doc.ReportError = err.Error()
+		return doc, nil
+	}
+	doc.Report = rep
+	return doc, nil
+}

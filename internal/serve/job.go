@@ -144,6 +144,14 @@ type job struct {
 	// subscribers, so each progress event carries exactly the new points.
 	lastEventGen int
 
+	// stats is the latest per-deme search-health snapshot (ring order),
+	// refreshed after every slice and one last time at finalize; bestGenome
+	// and bestArch hold the ring-best valid genome for on-demand diagnosis.
+	// All three survive the search's release but not a process restart.
+	stats      []core.GenStats
+	bestGenome []core.Edit
+	bestArch   string
+
 	result *JobResult
 }
 
@@ -190,4 +198,7 @@ type Event struct {
 	// Pool is a sample of the shared evaluation pool taken when the event
 	// was built, so SSE watchers see server load without polling.
 	Pool *core.PoolStats `json:"pool,omitempty"`
+	// Stats is the per-deme search-health snapshot (ring order) taken at
+	// the end of the slice that produced this progress event.
+	Stats []core.GenStats `json:"stats,omitempty"`
 }

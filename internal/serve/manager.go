@@ -230,9 +230,50 @@ func (m *Manager) initObs() {
 			defer m.mu.Unlock()
 			return float64(m.cache.len())
 		})
+	m.reg.RegisterBuildInfo()
+	// Search-health aggregates over live (non-terminal) jobs' latest deme
+	// stats: how stagnant the most-stuck search is, and how collapsed the
+	// least diverse population is. Both read the per-slice snapshots under
+	// mu; neither touches the searches themselves.
+	m.reg.GaugeFunc("gevo_serve_search_plateau_max",
+		"Longest best-ever plateau (generations without improvement) across live searches' demes.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			max := 0.0
+			for _, j := range m.jobs {
+				if j.state.Terminal() {
+					continue
+				}
+				for _, s := range j.stats {
+					if p := float64(s.Plateau); p > max {
+						max = p
+					}
+				}
+			}
+			return max
+		})
+	m.reg.GaugeFunc("gevo_serve_search_diversity_min",
+		"Lowest population genome diversity (distinct/pop) across live searches' demes; 1 when no live search has reported.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			min := 1.0
+			for _, j := range m.jobs {
+				if j.state.Terminal() {
+					continue
+				}
+				for _, s := range j.stats {
+					if s.Diversity > 0 && s.Diversity < min {
+						min = s.Diversity
+					}
+				}
+			}
+			return min
+		})
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		st := st
-		m.reg.GaugeFunc(fmt.Sprintf("gevo_serve_jobs{state=%q}", string(st)), "Jobs by lifecycle state.",
+		m.reg.GaugeFunc(obs.Labels("gevo_serve_jobs", "state", string(st)), "Jobs by lifecycle state.",
 			func() float64 {
 				m.mu.Lock()
 				defer m.mu.Unlock()
@@ -647,7 +688,9 @@ func (m *Manager) runSlice(j *job) {
 		return
 	}
 	prog := j.search.Progress()
-	points := genPoints(j.search, j.lastEventGen)
+	r := j.search.Result()
+	points := genPoints(r, j.search.Generation(), j.lastEventGen)
+	stats := j.search.DemeStats()
 
 	m.mu.Lock()
 	j.gen = prog.Gen
@@ -656,6 +699,11 @@ func (m *Manager) runSlice(j *job) {
 	j.migrations = prog.Migrations
 	j.evaluations = prog.Evaluations
 	j.lastEventGen = prog.Gen
+	j.stats = stats
+	if r.BestDeme >= 0 && r.Best.Valid() {
+		j.bestGenome = append([]core.Edit(nil), r.Best.Genome...)
+		j.bestArch = r.Demes[r.BestDeme].Arch
+	}
 	j.claimed = false
 	var ev *Event
 	if j.cancelWanted {
@@ -665,9 +713,10 @@ func (m *Manager) runSlice(j *job) {
 	} else {
 		m.persistLocked()
 		// Fold a pool sample into the progress stream: SSE watchers get
-		// load telemetry without polling /stats.
+		// load telemetry without polling /stats; the per-deme stats give
+		// them search health without polling /jobs/{id}/diag.
 		ps := m.pool.Stats()
-		e := Event{Type: "progress", Job: j.status(), Gens: points, Pool: &ps}
+		e := Event{Type: "progress", Job: j.status(), Gens: points, Pool: &ps, Stats: stats}
 		ev = &e
 	}
 	m.mu.Unlock()
@@ -791,6 +840,14 @@ func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 		if prog.BestDeme >= 0 {
 			j.bestSpeedup, j.bestDeme = prog.BestSpeedup, prog.BestDeme
 		}
+		// Keep the final search-health snapshot and winning genome past
+		// the search's release, so /jobs/{id}/diag stays answerable for a
+		// finished job's lifetime in this process.
+		j.stats = j.search.DemeStats()
+		if r := j.search.Result(); r.BestDeme >= 0 && r.Best.Valid() {
+			j.bestGenome = append([]core.Edit(nil), r.Best.Genome...)
+			j.bestArch = r.Demes[r.BestDeme].Arch
+		}
 	}
 	j.result = res
 	if res != nil {
@@ -858,6 +915,9 @@ func (m *Manager) pruneLocked() {
 type Health struct {
 	Status string `json:"status"`
 	Reason string `json:"reason,omitempty"`
+	// Build identifies the running binary (version/commit and toolchain),
+	// so an operator can tell which build answered /healthz.
+	Build obs.BuildInfo `json:"build"`
 }
 
 // Health samples the degraded-mode state machine.
@@ -865,9 +925,9 @@ func (m *Manager) Health() Health {
 	m.healthMu.Lock()
 	defer m.healthMu.Unlock()
 	if m.degraded {
-		return Health{Status: "degraded", Reason: m.degradedReason}
+		return Health{Status: "degraded", Reason: m.degradedReason, Build: obs.Build()}
 	}
-	return Health{Status: "ok"}
+	return Health{Status: "ok", Build: obs.Build()}
 }
 
 // setDegraded flips the manager into (or refreshes) degraded mode after a
@@ -1038,10 +1098,9 @@ func (m *Manager) writeLedger() error {
 // genPoints extracts the ring-wide per-generation trajectory newer than
 // from: at each generation, the best per-deme speedup (comparable across
 // heterogeneous rings) and that deme's fitness.
-func genPoints(s *island.Search, from int) []GenPoint {
-	r := s.Result()
+func genPoints(r *island.Result, gen, from int) []GenPoint {
 	var out []GenPoint
-	for g := from + 1; g <= s.Generation(); g++ {
+	for g := from + 1; g <= gen; g++ {
 		var pt GenPoint
 		best := 0.0
 		for _, d := range r.Demes {

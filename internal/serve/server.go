@@ -18,6 +18,7 @@ import (
 //	GET    /jobs/{id}        one job → JobStatus
 //	DELETE /jobs/{id}        cancel → JobStatus
 //	GET    /jobs/{id}/result finished artifact → JobResult (409 until done)
+//	GET    /jobs/{id}/diag   diagnosis → DiagDoc (stats, operator table, kernel report)
 //	GET    /jobs/{id}/events SSE stream of Events (status replay, then live)
 //	GET    /stats            manager + pool gauges → Stats
 //	GET    /metrics          Prometheus text exposition of the manager registry
@@ -67,6 +68,7 @@ func NewServerWith(m *Manager, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.get)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /jobs/{id}/diag", s.diag)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /stats", s.stats)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
@@ -177,6 +179,18 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st.Result)
+}
+
+// diag serves the per-candidate diagnosis document: search-health stats,
+// the per-operator contribution table, and a kernel report for the
+// ring-best genome.
+func (s *Server) diag(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.m.Diag(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // events streams a job's progress as server-sent events. The current

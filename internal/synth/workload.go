@@ -104,7 +104,7 @@ func New(sp Spec) (*Workload, error) {
 	// datasets. The measured dynamic instruction count sizes the runaway
 	// budget for search-time variants.
 	for _, ds := range []*dataset{w.fit, w.hold} {
-		res, out, err := w.launch(m, gpu.P100, ds, gpu.BackendInterp, 0)
+		res, out, err := w.launch(m, gpu.P100, ds, gpu.BackendInterp, 0, nil)
 		if err != nil {
 			return nil, fmt.Errorf("synth: %s: base program failed its oracle run: %w", sp.Name(), err)
 		}
@@ -168,7 +168,7 @@ func (w *Workload) EvaluateBackend(m *ir.Module, arch *gpu.Arch, b gpu.Backend) 
 }
 
 func (w *Workload) evaluate(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend) (float64, error) {
-	res, out, err := w.launch(m, arch, ds, b, w.budget)
+	res, out, err := w.launch(m, arch, ds, b, w.budget, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -178,9 +178,33 @@ func (w *Workload) evaluate(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Bac
 	return res.TimeMS, nil
 }
 
+// EvaluateProfiled is Evaluate plus a per-kernel instruction profile
+// recorded through the reference interpreter — the workload.Profiler hook
+// the diagnosis layer keys on. The fitness dataset and golden check are the
+// same as Evaluate's; only the backend differs (profiling forces interp).
+func (w *Workload) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
+	prog, err := w.prepare(m)
+	if err != nil {
+		return 0, nil, err
+	}
+	k := prog.Kernels[w.sc.fn.Name]
+	if k == nil {
+		return 0, nil, fmt.Errorf("synth: module lacks kernel %s", w.sc.fn.Name)
+	}
+	prof := gpu.NewProfile(k)
+	res, out, err := w.launch(m, arch, w.fit, gpu.BackendInterp, w.budget, prof)
+	if err != nil {
+		return 0, nil, err
+	}
+	if i := firstDiff(out, w.fit.golden); i >= 0 {
+		return 0, nil, &MismatchError{Name: w.Name(), Offset: i, Got: out[i], Want: w.fit.golden[i]}
+	}
+	return res.TimeMS, map[string]*gpu.Profile{w.sc.fn.Name: prof}, nil
+}
+
 // launch allocates the datasets on a fresh pooled device, runs the module's
 // kernel once, and returns the launch result plus the output bytes.
-func (w *Workload) launch(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend, budget int64) (*gpu.Result, []byte, error) {
+func (w *Workload) launch(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend, budget int64, prof *gpu.Profile) (*gpu.Result, []byte, error) {
 	prog, err := w.prepare(m)
 	if err != nil {
 		return nil, nil, err
@@ -209,6 +233,7 @@ func (w *Workload) launch(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backe
 	cfg := gpu.LaunchConfig{
 		Grid: w.sc.grid, Block: w.sc.block,
 		Args: w.sc.args(addrs, outBase), MaxDynInstr: budget, Backend: b,
+		Profile: prof,
 	}
 	res, err := d.Launch(k, cfg)
 	if err != nil {

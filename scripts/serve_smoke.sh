@@ -82,6 +82,22 @@ check_metrics() {
     gevo_trace_events_total; do
     grep -qF "$series" "$scrape" || die "/metrics missing series $series"
   done
+  # Exposition-format 0.0.4 metadata: every metric family is announced with
+  # # HELP and # TYPE lines, and the declared types are ones Prometheus
+  # accepts.
+  grep -q '^# HELP gevo_' "$scrape" || die "/metrics has no # HELP lines"
+  grep -q '^# TYPE gevo_' "$scrape" || die "/metrics has no # TYPE lines"
+  grep -q '^# TYPE gevo_pool_evals_completed_total counter$' "$scrape" \
+    || die "/metrics missing counter TYPE for gevo_pool_evals_completed_total"
+  grep -q '^# TYPE gevo_serve_jobs gauge$' "$scrape" \
+    || die "/metrics missing gauge TYPE for gevo_serve_jobs"
+  grep -q '^# TYPE gevo_serve_ledger_write_seconds histogram$' "$scrape" \
+    || die "/metrics missing histogram TYPE for gevo_serve_ledger_write_seconds"
+  if grep '^# TYPE ' "$scrape" | grep -vE '^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$' | grep -q .; then
+    die "/metrics has malformed # TYPE lines"
+  fi
+  grep -qE '^gevo_build_info\{version="[^"]*",go="go[^"]*"\} 1$' "$scrape" \
+    || die "/metrics missing gevo_build_info gauge"
   # Each non-comment line: name[{labels}] value
   if grep -vE '^(#.*)?$' "$scrape" \
      | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$' \
