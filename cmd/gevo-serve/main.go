@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -45,6 +46,7 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	maxJobs := flag.Int("max-jobs", 0, "max queued+running jobs before submissions shed with 429 (0 = unlimited)")
 	faults := flag.String("faults", "", "deterministic fault-injection schedule, e.g. 'eval.dispatch:panic@3;persist.write:error/5' (chaos testing; '' = off)")
+	postmortem := flag.String("postmortem", "", "crash postmortem path: a panic dumps the flight-recorder journal + metrics there before dying ('' = <dir>/postmortem.json, or off when in-memory)")
 	flag.Parse()
 
 	if b, err := gpu.ParseBackend(*backend); err != nil {
@@ -62,9 +64,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gevo-serve: fault injection armed: %s\n", *faults)
 	}
 
+	pmPath := *postmortem
+	if pmPath == "" && *dir != "" {
+		pmPath = filepath.Join(*dir, "postmortem.json")
+	}
+
+	// Bridge the Go runtime into the scrape surface: goroutines, heap, GC
+	// cost and pause/latency distributions alongside the gevo_* series.
+	obs.RegisterRuntimeMetrics(obs.Default)
+
 	m, err := serve.Open(serve.Options{
 		Dir: *dir, Workers: *workers, Executors: *executors, CacheSize: *cacheSize,
-		MaxActiveJobs: *maxJobs, Inject: inj,
+		MaxActiveJobs: *maxJobs, Inject: inj, PostmortemPath: pmPath,
 	})
 	if err != nil {
 		fatal(err)

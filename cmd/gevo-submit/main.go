@@ -9,6 +9,7 @@
 //	gevo-submit -list
 //	gevo-submit -status j0123456789abcdef
 //	gevo-submit -result j0123456789abcdef
+//	gevo-submit -costs j0123456789abcdef
 //	gevo-submit -diag j0123456789abcdef
 //	gevo-submit -cancel j0123456789abcdef
 //
@@ -77,6 +78,7 @@ func main() {
 	result := flag.String("result", "", "fetch one job's result instead of submitting")
 	cancel := flag.String("cancel", "", "cancel one job instead of submitting")
 	diagID := flag.String("diag", "", "show one job's diagnosis (operator table + kernel report) instead of submitting")
+	costsID := flag.String("costs", "", "show one job's cost account (evals, launches, cache hits charged to it) instead of submitting")
 	stats := flag.Bool("stats", false, "show server stats instead of submitting")
 	retries := flag.Int("retries", 2, "retry transient failures (connection refused, 429, 5xx) this many times")
 	retryMaxWait := flag.Duration("retry-max-wait", 2*time.Second, "cap on the backoff between retries")
@@ -119,6 +121,12 @@ func main() {
 		}
 		printOps(doc)
 		emit(doc)
+	case *costsID != "":
+		doc, err := c.Costs(ctx, *costsID)
+		if err != nil {
+			fatal(err)
+		}
+		emit(doc)
 	case *stats:
 		st, err := c.Stats(ctx)
 		if err != nil {
@@ -149,13 +157,13 @@ func main() {
 			}
 			return
 		}
-		fmt.Fprintf(os.Stderr, "gevo-submit: job %s %s (submission #%d)\n", st.ID, st.State, st.Submits)
+		fmt.Fprintf(os.Stderr, "gevo-submit: job %s %s (submission #%d, trace %s)\n", st.ID, st.State, st.Submits, st.Trace)
 		final, err := c.WaitDone(ctx, st.ID, func(ev serve.Event) {
 			if ev.Type != "progress" {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "gevo-submit: gen %3d/%d best %.3fx (deme %d, %d evals)\n",
-				ev.Job.Gen, ev.Job.Spec.Generations, ev.Job.BestSpeedup, ev.Job.BestDeme, ev.Job.Evaluations)
+			fmt.Fprintf(os.Stderr, "gevo-submit: gen %3d/%d best %.3fx (deme %d, %d evals, span %s)\n",
+				ev.Job.Gen, ev.Job.Spec.Generations, ev.Job.BestSpeedup, ev.Job.BestDeme, ev.Job.Evaluations, ev.Span)
 		})
 		if err != nil {
 			fatal(err)

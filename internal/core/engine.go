@@ -55,6 +55,11 @@ type Config struct {
 	// SinkID tags this engine's events (island searches label each deme);
 	// empty is fine for solo engines.
 	SinkID string `json:"-"`
+	// Cost, when non-nil, is the account the pool charges for this engine's
+	// evaluations (per-job cost attribution; island searches hand every deme
+	// the job's account). Nil charges the pool's unattributed account. The
+	// account only observes, so results are identical with or without one.
+	Cost *Cost `json:"-"`
 }
 
 // DefaultConfig returns the paper's search parameters (Section III-E).
@@ -217,7 +222,7 @@ func (e *Engine) fitness(genome []Edit) float64 {
 }
 
 func (e *Engine) fitnessKeyed(key string, genome []Edit) float64 {
-	ms := e.cfg.Pool.evaluateGenome(e.w, e.cfg.Arch, genome, key)
+	ms := e.cfg.Pool.evaluateGenome(e.w, e.cfg.Arch, genome, key, e.cfg.Cost)
 	sh := &e.seen[shardOf(key)]
 	sh.mu.Lock()
 	if _, ok := sh.m[key]; !ok {
@@ -410,6 +415,11 @@ func (e *Engine) emitBest(l LineageEntry) {
 func (e *Engine) SetSink(s obs.Sink, id string) {
 	e.cfg.Sink, e.cfg.SinkID = s, id
 }
+
+// SetCost installs (or clears) the engine's cost account — the restore
+// path, where the checkpoint cannot carry one. Like the sink, the account
+// only observes.
+func (e *Engine) SetCost(c *Cost) { e.cfg.Cost = c }
 
 // Generation returns the number of generations completed.
 func (e *Engine) Generation() int { return e.gen }

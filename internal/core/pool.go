@@ -46,6 +46,20 @@ type EvalPool struct {
 	panics       obs.Counter
 	redispatches obs.Counter
 
+	// Pool-wide simulator charge counters, incremented in the same fold that
+	// charges the per-job account — so the sum over every account (including
+	// unattributed) reconciles exactly with these (DESIGN.md §12).
+	launches   obs.Counter
+	dynInstrs  obs.Counter
+	progHits   obs.Counter
+	progMisses obs.Counter
+	memoHits   obs.Counter
+
+	// unattributed absorbs charges from evaluations requested without a cost
+	// account (standalone CLI engines, tests), keeping the reconciliation
+	// invariant total.
+	unattributed Cost
+
 	// inj is the fault injector consulted at eval dispatch (nil = injection
 	// off, the zero-cost default). Set via SetInjector before the first
 	// evaluation; never mutated after.
@@ -82,6 +96,7 @@ func NewEvalPool(workers int) *EvalPool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &EvalPool{sem: make(chan struct{}, workers), ids: make(map[workload.Workload]string)}
+	p.unattributed.label = "unattributed"
 	for i := range p.shards {
 		p.shards[i].m = make(map[string]*fitnessEntry)
 	}
@@ -164,6 +179,45 @@ func (p *EvalPool) Register(r *obs.Registry) {
 		func() float64 { return float64(p.panics.Value()) })
 	r.CounterFunc("gevo_pool_redispatch_total", "Injected worker faults absorbed by redispatching the evaluation.",
 		func() float64 { return float64(p.redispatches.Value()) })
+	r.CounterFunc("gevo_pool_launches_total", "Kernel launches across all computed evaluations.",
+		func() float64 { return float64(p.launches.Value()) })
+	r.CounterFunc("gevo_pool_dyn_instrs_total", "Dynamic instructions executed across all computed evaluations.",
+		func() float64 { return float64(p.dynInstrs.Value()) })
+	r.CounterFunc("gevo_pool_program_hits_total", "Program-cache hits charged through evaluations.",
+		func() float64 { return float64(p.progHits.Value()) })
+	r.CounterFunc("gevo_pool_program_misses_total", "Program-cache misses (compiles) charged through evaluations.",
+		func() float64 { return float64(p.progMisses.Value()) })
+	r.CounterFunc("gevo_pool_memo_hits_total", "Timing-memo replays charged through evaluations.",
+		func() float64 { return float64(p.memoHits.Value()) })
+}
+
+// Unattributed returns the pool's built-in account for evaluations
+// requested without one.
+func (p *EvalPool) Unattributed() *Cost { return &p.unattributed }
+
+// account resolves a caller's (possibly nil) cost account.
+func (p *EvalPool) account(acct *Cost) *Cost {
+	if acct == nil {
+		return &p.unattributed
+	}
+	return acct
+}
+
+// ChargedTotals samples the pool-wide charge counters in CostTotals shape.
+// At quiescence it equals the field-wise sum of every account that charged
+// this pool (slices excluded — those are orchestrator-charged, not
+// pool-charged).
+func (p *EvalPool) ChargedTotals() CostTotals {
+	return CostTotals{
+		Evals:         p.hits.Value() + p.completed.Value(),
+		Completed:     p.completed.Value(),
+		CacheHits:     p.hits.Value(),
+		Launches:      p.launches.Value(),
+		DynInstrs:     p.dynInstrs.Value(),
+		ProgramHits:   p.progHits.Value(),
+		ProgramMisses: p.progMisses.Value(),
+		MemoHits:      p.memoHits.Value(),
+	}
 }
 
 // SetInjector arms the pool's eval-dispatch fault site (nil = off). Must
@@ -230,17 +284,27 @@ const maxRedispatch = 8
 // in-flight key block on the first; the worker budget bounds how many fn
 // calls run simultaneously.
 //
+// Cost attribution: every request charges one eval to its account; cache
+// hits (including waits on an in-flight entry) charge the requester, while
+// compute costs (the EvalStats handle fn fills) charge the account whose
+// request ran the simulation. When the account carries a span context and
+// the pool has a sink, the compute is wrapped in a pool.eval span parented
+// under it, and the handle carries the span IDs down into compile events.
+//
 // Failure containment: fn runs behind a recover. However it exits — value,
 // injected fault, panic — the deferred block releases the worker slot,
 // settles the gauges and closes ent.done, so waiters on the in-flight
 // entry can never hang and the semaphore can never leak. A panicking fn
 // poisons the entry at +Inf (see EvalPanicError).
-func (p *EvalPool) evaluate(key string, meta evalMeta, fn func() float64) float64 {
+func (p *EvalPool) evaluate(key string, meta evalMeta, acct *Cost, fn func(*gpu.EvalStats) float64) float64 {
+	acct = p.account(acct)
+	acct.evals.Add(1)
 	sh := &p.shards[shardOf(key)]
 	sh.mu.Lock()
 	if ent, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
 		p.hits.Add(1)
+		acct.hits.Add(1)
 		<-ent.done
 		return ent.ms
 	}
@@ -252,16 +316,31 @@ func (p *EvalPool) evaluate(key string, meta evalMeta, fn func() float64) float6
 	p.sem <- struct{}{}
 	p.queued.Add(-1)
 	p.inFlight.Add(1)
+	st := &gpu.EvalStats{}
 	// Poisoned default: should anything below escape past run's recover,
 	// waiters still observe worst fitness, never a hang.
 	ent.ms = math.Inf(1)
 	defer func() {
 		p.inFlight.Add(-1)
 		p.completed.Add(1)
+		acct.charge(st)
+		p.launches.Add(st.Launches)
+		p.dynInstrs.Add(st.DynInstrs)
+		p.progHits.Add(st.ProgramHits)
+		p.progMisses.Add(st.ProgramMisses)
+		p.memoHits.Add(st.MemoHits)
 		<-p.sem
 		close(ent.done)
 	}()
-	ent.ms = p.run(meta, fn)
+	var sp *obs.Span
+	if parent := acct.Span(); parent.Valid() {
+		sp = obs.StartSpanFrom(parent, p.sink, "pool.eval",
+			obs.A("workload", meta.workload), obs.A("arch", meta.arch), obs.A("genome", meta.genome))
+		sc := sp.Context()
+		st.Trace, st.Span = sc.TraceID, sc.SpanID
+	}
+	ent.ms = p.run(meta, func() float64 { return fn(st) })
+	sp.End()
 	return ent.ms
 }
 
@@ -351,13 +430,22 @@ func genomeDigest(key string) string {
 
 // evaluateGenome runs one genome of a workload on an architecture through
 // the pool, with the cross-engine cache keyed by workload instance,
-// architecture and genome content.
-func (p *EvalPool) evaluateGenome(w workload.Workload, arch *gpu.Arch, genome []Edit, key string) float64 {
+// architecture and genome content. Costs are charged to acct (nil = the
+// pool's unattributed account); workloads implementing workload.Costed get
+// the per-evaluation stats handle, others evaluate uninstrumented (their
+// launches simply go uncharged — fitness is identical either way).
+func (p *EvalPool) evaluateGenome(w workload.Workload, arch *gpu.Arch, genome []Edit, key string, acct *Cost) float64 {
 	full := p.workloadID(w) + "\x00" + arch.Name + "\x00" + key
 	meta := evalMeta{workload: w.Name(), arch: arch.Name, genome: genomeDigest(key)}
-	return p.evaluate(full, meta, func() float64 {
+	return p.evaluate(full, meta, acct, func(st *gpu.EvalStats) float64 {
 		m := Variant(w.Base(), genome)
-		ms, err := w.Evaluate(m, arch)
+		var ms float64
+		var err error
+		if cw, ok := w.(workload.Costed); ok {
+			ms, err = cw.EvaluateCosted(m, arch, st)
+		} else {
+			ms, err = w.Evaluate(m, arch)
+		}
 		if err != nil {
 			return math.Inf(1)
 		}

@@ -51,7 +51,7 @@ func TestEvalPanicContainment(t *testing.T) {
 	results := make(chan float64, waiters)
 	for i := 0; i < waiters; i++ {
 		go func() {
-			results <- p.evaluateGenome(w, gpu.P100, nil, GenomeKey(nil))
+			results <- p.evaluateGenome(w, gpu.P100, nil, GenomeKey(nil), nil)
 		}()
 	}
 	for i := 0; i < waiters; i++ {
@@ -92,7 +92,7 @@ func TestEvalPanicContainment(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if ms := p.evaluateGenome(good, gpu.P100, nil, GenomeKey(nil)); math.IsInf(ms, 1) {
+			if ms := p.evaluateGenome(good, gpu.P100, nil, GenomeKey(nil), nil); math.IsInf(ms, 1) {
 				t.Error("healthy workload scored +Inf after quarantine")
 			}
 		}()
@@ -169,7 +169,7 @@ func TestRedispatchBudgetExhaustion(t *testing.T) {
 	p.SetInjector(fault.MustNew(
 		fault.Rule{Site: fault.SiteEvalDispatch, Kind: fault.KindError, Every: 1},
 	))
-	ms := p.evaluateGenome(tinyADEPT(t), gpu.P100, nil, GenomeKey(nil))
+	ms := p.evaluateGenome(tinyADEPT(t), gpu.P100, nil, GenomeKey(nil), nil)
 	if !math.IsInf(ms, 1) {
 		t.Fatalf("exhausted redispatch scored %v, want +Inf", ms)
 	}

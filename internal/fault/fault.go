@@ -65,6 +65,11 @@ const (
 	// SiteHTTPRequest fires at the top of serve's HTTP handler; error
 	// answers 503, modelling a flaky front end for client-retry tests.
 	SiteHTTPRequest = "http.request"
+	// SiteServeSlice fires in serve's executor at the top of a slice,
+	// outside the eval pool's panic containment — a panic there escapes to
+	// the executor's crash guard, the drivable path for postmortem-dump
+	// smoke tests.
+	SiteServeSlice = "serve.slice"
 )
 
 // DefaultDelay is the stall applied by a delay rule that does not name one.

@@ -142,10 +142,22 @@ var DefaultProgramCache = NewProgramCache()
 // verified and compiled once per process, not once per evaluation.
 func Prepare(m *ir.Module) (*Program, error) { return DefaultProgramCache.Prepare(m) }
 
+// PrepareStats is Prepare through the default cache with a per-evaluation
+// stats handle (see EvalStats); nil st behaves exactly like Prepare.
+func PrepareStats(m *ir.Module, st *EvalStats) (*Program, error) {
+	return DefaultProgramCache.PrepareStats(m, st)
+}
+
 // Prepare returns the verified, compiled form of the module, building it on
 // first sight of its content. Concurrent calls with identical content block
 // on one compilation instead of racing duplicates.
-func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
+func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) { return c.PrepareStats(m, nil) }
+
+// PrepareStats is Prepare with a per-evaluation stats handle: cache
+// outcomes are charged to st, and when st carries span linkage the compile
+// events are stamped with it, tying the compile slice into the eval span's
+// trace. A nil st is the plain Prepare path.
+func (c *ProgramCache) PrepareStats(m *ir.Module, st *EvalStats) (*Program, error) {
 	key := HashModule(m)
 	sh := &c.shards[key[0]&(cacheShards-1)]
 
@@ -154,6 +166,9 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 		sh.markUsedLocked(key)
 		sh.mu.Unlock()
 		metricProgramHits.Inc()
+		if st != nil {
+			st.ProgramHits++
+		}
 		if s := sink(); s != nil {
 			s.Emit(obs.Event{Type: "gpu.cache.hit", Attrs: []obs.Attr{obs.A("module", moduleAttr(key))}})
 		}
@@ -174,9 +189,12 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 	sh.mu.Unlock()
 
 	metricProgramMisses.Inc()
+	if st != nil {
+		st.ProgramMisses++
+	}
 	s := sink()
 	if s != nil {
-		s.Emit(obs.Event{Type: "gpu.compile.begin", Attrs: []obs.Attr{obs.A("module", moduleAttr(key))}})
+		s.Emit(obs.Event{Type: "gpu.compile.begin", Attrs: compileAttrs(key, st)})
 	}
 	if err := m.Verify(); err != nil {
 		e.err = err
@@ -195,10 +213,20 @@ func (c *ProgramCache) Prepare(m *ir.Module) (*Program, error) {
 		if e.err != nil {
 			ok = "0"
 		}
-		s.Emit(obs.Event{Type: "gpu.compile.end", Attrs: []obs.Attr{obs.A("module", moduleAttr(key)), obs.A("ok", ok)}})
+		s.Emit(obs.Event{Type: "gpu.compile.end", Attrs: append(compileAttrs(key, st), obs.A("ok", ok))})
 	}
 	close(e.done)
 	return e.prog, e.err
+}
+
+// compileAttrs builds the compile event payload: the module identity, plus
+// span linkage when the evaluation that triggered the compile is traced.
+func compileAttrs(key ModuleKey, st *EvalStats) []obs.Attr {
+	attrs := []obs.Attr{obs.A("module", moduleAttr(key))}
+	if st != nil && st.Trace != "" {
+		attrs = append(attrs, obs.A("trace", st.Trace), obs.A("parent", st.Span))
+	}
+	return attrs
 }
 
 // markUsedLocked moves the key to the back of the shard's LRU order.

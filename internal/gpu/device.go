@@ -22,8 +22,14 @@ import (
 // their own device.
 type Device struct {
 	Arch *Arch
-	mem  []byte
-	off  int
+	// Stats, when non-nil, accrues per-evaluation launch costs (counts,
+	// dynamic instructions, memo hits) for the evaluation that acquired
+	// this device. Set by the workload right after AcquireDevice; cleared
+	// by Release so pooled devices never leak one evaluation's handle into
+	// the next.
+	Stats *EvalStats
+	mem   []byte
+	off   int
 	// dirtyHi is the high-water mark of arena writes (stores, atomics, host
 	// copies). Recycling a pooled device only has to clear [0, dirtyHi) to
 	// restore the all-zero arena a fresh device guarantees.
@@ -84,6 +90,7 @@ func AcquireDeviceWithMem(arch *Arch, capacity int) *Device {
 // returns it to the pool for reuse. The device must not be used afterwards.
 func (d *Device) Release() {
 	d.Reset()
+	d.Stats = nil
 	// Drop references held from the last launch so pooled devices do not pin
 	// compiled kernels, profiles or caller argument slices in memory.
 	d.launch.ctx.k = nil

@@ -250,6 +250,9 @@ func (d *Device) Launch(k *Kernel, cfg LaunchConfig) (*Result, error) {
 		DynInstrs: budget - remaining,
 		Blocks:    cfg.Grid,
 	}
+	if d.Stats != nil {
+		d.Stats.addLaunch(res, replay)
+	}
 	if cfg.Profile != nil {
 		cfg.Profile.TotalCycles += cycles
 		cfg.Profile.Launches++

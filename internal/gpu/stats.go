@@ -1,0 +1,39 @@
+package gpu
+
+// EvalStats is the per-evaluation cost and trace handle: the evaluation
+// pool allocates one per dispatched evaluation, workloads thread it through
+// their launch path (Device.Stats) and the program cache (PrepareStats),
+// and the pool folds the totals into the owning job's cost account when the
+// evaluation returns. One evaluation runs on one goroutine (workloads fan
+// out across evaluations, never inside one), so plain fields suffice.
+//
+// Determinism: the handle only observes. Counts of memo hits and program
+// hits depend on scheduling and cache retention, so they are operational
+// telemetry, never inputs to fitness (DESIGN.md §9).
+type EvalStats struct {
+	// Trace and Span link events emitted during this evaluation (compile
+	// begin/end) to the eval span that caused them; empty when the
+	// evaluation is untraced.
+	Trace string
+	Span  string
+
+	// ProgramHits / ProgramMisses count program-cache outcomes; a miss is a
+	// verify+compile this evaluation paid for.
+	ProgramHits   int64
+	ProgramMisses int64
+	// MemoHits counts uniform-launch memo replays.
+	MemoHits int64
+	// Launches counts kernel launches; DynInstrs totals their dynamic
+	// warp-instruction counts.
+	Launches  int64
+	DynInstrs int64
+}
+
+// addLaunch folds one launch result into the handle.
+func (st *EvalStats) addLaunch(res *Result, replayed bool) {
+	st.Launches++
+	st.DynInstrs += res.DynInstrs
+	if replayed {
+		st.MemoHits++
+	}
+}

@@ -80,6 +80,10 @@ type Config struct {
 	// interleave scheduling-dependently; each deme's own subsequence is
 	// deterministic (DESIGN.md §9).
 	Sink obs.Sink `json:"-"`
+	// Cost, when non-nil, is the cost account every deme charges its
+	// evaluations to — one account per job, shared by the whole ring
+	// (DESIGN.md §12). Nil charges the pool's unattributed account.
+	Cost *core.Cost `json:"-"`
 }
 
 // fill normalizes the configuration, mirroring core.Config.fill.
@@ -116,6 +120,7 @@ func (c *Config) demeConfig(i int, seed uint64, pool *core.EvalPool) core.Config
 	cfg.Pool = pool
 	cfg.Sink = c.Sink
 	cfg.SinkID = demeID(i)
+	cfg.Cost = c.Cost
 	if i < len(c.Overrides) {
 		o := c.Overrides[i]
 		if o.Arch != nil {
@@ -298,6 +303,15 @@ func (s *Search) AttachSink(sink obs.Sink) {
 	s.cfg.Sink = sink
 	for i, d := range s.demes {
 		d.SetSink(sink, demeID(i))
+	}
+}
+
+// AttachCost installs (or clears) the cost account on a live search and its
+// demes — the restore path and the orchestrator path, mirroring AttachSink.
+func (s *Search) AttachCost(c *core.Cost) {
+	s.cfg.Cost = c
+	for _, d := range s.demes {
+		d.SetCost(c)
 	}
 }
 

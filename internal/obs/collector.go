@@ -40,6 +40,7 @@ type Collector struct {
 	events      *Counter
 	dropped     *Counter
 	compileHist *Histogram
+	spanHist    *Histogram
 
 	mu sync.Mutex
 	// ring is the bounded journal; guarded by mu.
@@ -52,7 +53,16 @@ type Collector struct {
 	// stamp, pairing gpu.compile.begin/end into one duration observation;
 	// guarded by mu.
 	compileStart map[string]int64
+	// spanStart maps an open span's ID to its begin stamp, pairing
+	// span.begin/end into a duration observation; guarded by mu. Bounded:
+	// entries leave on span.end, and abandoned spans (a panic between begin
+	// and end) are evicted once the map exceeds spanStartCap.
+	spanStart map[string]int64
 }
+
+// spanStartCap bounds the open-span table against spans abandoned by
+// panics; normal operation never approaches it.
+const spanStartCap = 16384
 
 // NewCollector creates a collector journaling up to capacity records
 // (<=0 = DefaultJournalCap) and registering its derived metrics in reg
@@ -69,8 +79,10 @@ func NewCollector(reg *Registry, capacity int) *Collector {
 		events:       reg.Counter("gevo_trace_events_total", "Trace events journaled by the collector."),
 		dropped:      reg.Counter("gevo_trace_events_dropped_total", "Trace events overwritten by ring wrap-around."),
 		compileHist:  reg.Histogram("gevo_gpu_compile_seconds", "Wall time of program verify+compile, paired from gpu.compile.begin/end events.", nil),
+		spanHist:     reg.Histogram("gevo_span_seconds", "Wall time of spans, paired from span.begin/end events.", nil),
 		ring:         make([]Record, 0, capacity),
 		compileStart: make(map[string]int64, 8),
+		spanStart:    make(map[string]int64, 8),
 	}
 }
 
@@ -88,7 +100,7 @@ func (c *Collector) Emit(ev Event) {
 		c.head = (c.head + 1) % len(c.ring)
 		c.dropped.Inc()
 	}
-	var compileNs int64 = -1
+	var compileNs, spanNs int64 = -1, -1
 	switch ev.Type {
 	case "gpu.compile.begin":
 		c.compileStart[attrValue(ev.Attrs, "module")] = now
@@ -98,10 +110,24 @@ func (c *Collector) Emit(ev Event) {
 			delete(c.compileStart, key)
 			compileNs = now - begin
 		}
+	case "span.begin":
+		if len(c.spanStart) >= spanStartCap {
+			clear(c.spanStart)
+		}
+		c.spanStart[attrValue(ev.Attrs, "span")] = now
+	case "span.end":
+		key := attrValue(ev.Attrs, "span")
+		if begin, ok := c.spanStart[key]; ok {
+			delete(c.spanStart, key)
+			spanNs = now - begin
+		}
 	}
 	c.mu.Unlock()
 	if compileNs >= 0 {
 		c.compileHist.Observe(float64(compileNs) / 1e9)
+	}
+	if spanNs >= 0 {
+		c.spanHist.Observe(float64(spanNs) / 1e9)
 	}
 }
 
@@ -146,6 +172,9 @@ type traceEvent struct {
 	PID   int               `json:"pid"`
 	TID   int               `json:"tid"`
 	Scope string            `json:"s,omitempty"`
+	Cat   string            `json:"cat,omitempty"`
+	ID    string            `json:"id,omitempty"`
+	BP    string            `json:"bp,omitempty"`
 	Args  map[string]string `json:"args,omitempty"`
 }
 
@@ -154,7 +183,10 @@ type traceEvent struct {
 // "job" attributes); paired gpu.compile.begin/end records become complete
 // ("X") slices; engine.gen records additionally emit a counter ("C")
 // sample of the running best speedup, which Perfetto renders as the
-// search-trajectory graph.
+// search-trajectory graph. Paired span.begin/end records become complete
+// slices named after the span, and a span with a parent in the journal is
+// flow-linked to it ("s"/"f" events keyed by the child span ID), so one
+// trace ID reads as a connected request tree across tracks.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	recs := c.Records()
 	if _, err := io.WriteString(w, "[\n"); err != nil {
@@ -173,6 +205,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		return tid
 	}
 	begin := map[string]Record{}
+	// spanBegin holds each seen span's begin record by span ID, kept after
+	// the span ends so later children can still flow-link to it.
+	spanBegin := map[string]Record{}
 	first := true
 	emit := func(te traceEvent) error {
 		blob, err := json.Marshal(te)
@@ -195,6 +230,48 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			args[a.K] = a.V
 		}
 		switch rec.Type {
+		case "span.begin":
+			spanBegin[attrValue(rec.Attrs, "span")] = rec
+			continue
+		case "span.end":
+			id := attrValue(rec.Attrs, "span")
+			b, ok := spanBegin[id]
+			if !ok {
+				continue
+			}
+			bArgs := make(map[string]string, len(b.Attrs))
+			for _, a := range b.Attrs {
+				bArgs[a.K] = a.V
+			}
+			tid := tidOf(b.Attrs)
+			if err := emit(traceEvent{
+				Name: attrValue(b.Attrs, "name"), Phase: "X",
+				TsUs: float64(b.WallNs) / 1e3, DurUs: float64(rec.WallNs-b.WallNs) / 1e3,
+				PID: 1, TID: tid, Args: bArgs,
+			}); err != nil {
+				return err
+			}
+			// Flow-link to the parent span: an "s" arrow tail inside the
+			// parent slice, an "f" head at this slice's start.
+			parent := attrValue(b.Attrs, "parent")
+			pb, ok := spanBegin[parent]
+			if !ok {
+				continue
+			}
+			flowTs := float64(b.WallNs) / 1e3
+			if err := emit(traceEvent{
+				Name: "span", Phase: "s", TsUs: flowTs,
+				PID: 1, TID: tidOf(pb.Attrs), Cat: "span", ID: id,
+			}); err != nil {
+				return err
+			}
+			if err := emit(traceEvent{
+				Name: "span", Phase: "f", TsUs: flowTs,
+				PID: 1, TID: tid, Cat: "span", ID: id, BP: "e",
+			}); err != nil {
+				return err
+			}
+			continue
 		case "gpu.compile.begin":
 			begin[attrValue(rec.Attrs, "module")] = rec
 			continue
@@ -205,12 +282,31 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 				continue
 			}
 			delete(begin, key)
+			tid := tidOf(rec.Attrs)
 			if err := emit(traceEvent{
 				Name: "gpu.compile", Phase: "X",
 				TsUs: float64(b.WallNs) / 1e3, DurUs: float64(rec.WallNs-b.WallNs) / 1e3,
-				PID: 1, TID: tidOf(rec.Attrs), Args: args,
+				PID: 1, TID: tid, Args: args,
 			}); err != nil {
 				return err
+			}
+			// A compile reached through a traced evaluation carries the eval
+			// span as its parent: flow-link the slice like a child span.
+			if pb, ok := spanBegin[attrValue(b.Attrs, "parent")]; ok {
+				flowTs := float64(b.WallNs) / 1e3
+				flowID := "compile-" + key
+				if err := emit(traceEvent{
+					Name: "span", Phase: "s", TsUs: flowTs,
+					PID: 1, TID: tidOf(pb.Attrs), Cat: "span", ID: flowID,
+				}); err != nil {
+					return err
+				}
+				if err := emit(traceEvent{
+					Name: "span", Phase: "f", TsUs: flowTs,
+					PID: 1, TID: tid, Cat: "span", ID: flowID, BP: "e",
+				}); err != nil {
+					return err
+				}
 			}
 			continue
 		}

@@ -77,16 +77,52 @@ func runDiagnosedSearch(t *testing.T, sink obs.Sink) *core.EngineState {
 	return st
 }
 
+// runSpannedSearch is runSearch with span tracing fully active: the engine
+// charges a cost account whose span context is set, so every pool
+// evaluation opens a pool.eval span in the collector — exactly how the
+// serve executor configures a slice. Spans ride the sink and the account;
+// neither may participate in the search.
+func runSpannedSearch(t *testing.T, col *obs.Collector) *core.EngineState {
+	t.Helper()
+	w, err := workload.ByName(testWorkload)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	cfg := searchConfig(col)
+	// Evaluation spans are emitted by the pool, so the pool needs the sink
+	// (serve attaches its collector to the shared pool the same way).
+	cfg.Pool = core.NewEvalPool(2)
+	cfg.Pool.AttachSink(col)
+	root := obs.StartSpanFrom(obs.SpanContext{}, col, "job")
+	defer root.End()
+	cost := core.NewCost("span-test")
+	cost.SetSpan(root.Context())
+	cfg.Cost = cost
+	eng := core.NewEngine(w, cfg)
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return st
+}
+
 // TestSinkBitIdentity pins the determinism contract: the complete search
 // state after a fixed-seed run — population, RNG position, history,
 // lineage, operator counters — is byte-identical with a collector
-// attached, with no sink at all, and with per-generation candidate
-// diagnosis interleaved. Observability observes; it never participates.
+// attached, with no sink at all, with per-generation candidate diagnosis
+// interleaved, and with span tracing active (a parented cost account, so
+// every evaluation emits pool.eval spans). Observability observes; it
+// never participates.
 func TestSinkBitIdentity(t *testing.T) {
 	col := obs.NewCollector(obs.NewRegistry(), 1024)
 	withSink := runSearch(t, col)
 	without := runSearch(t, nil)
 	diagnosed := runDiagnosedSearch(t, obs.NewCollector(obs.NewRegistry(), 1024))
+	spanCol := obs.NewCollector(obs.NewRegistry(), 4096)
+	spanned := runSpannedSearch(t, spanCol)
 
 	a, err := json.Marshal(withSink)
 	if err != nil {
@@ -100,14 +136,30 @@ func TestSinkBitIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
+	d, err := json.Marshal(spanned)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
 	if !bytes.Equal(a, b) {
 		t.Fatalf("fixed-seed search state differs with sink attached:\nwith:    %s\nwithout: %s", a, b)
 	}
 	if !bytes.Equal(a, c) {
 		t.Fatalf("fixed-seed search state differs with diagnosis interleaved:\nplain:     %s\ndiagnosed: %s", a, c)
 	}
+	if !bytes.Equal(a, d) {
+		t.Fatalf("fixed-seed search state differs with spans active:\nplain:   %s\nspanned: %s", a, d)
+	}
 	if len(col.Records()) == 0 {
 		t.Fatalf("collector journaled no events — sink was not wired through")
+	}
+	spans := 0
+	for _, rec := range spanCol.Records() {
+		if rec.Type == "span.begin" {
+			spans++
+		}
+	}
+	if spans < 2 {
+		t.Fatalf("spanned run journaled %d span.begin events, want the job root plus pool.eval spans", spans)
 	}
 }
 

@@ -153,10 +153,23 @@ type Registry struct {
 	mu sync.Mutex
 	// m is the name -> slot table; guarded by mu.
 	m map[string]*series
+	// groups is the base-name -> dynamic-family table; guarded by mu.
+	groups map[string]*seriesGroup
+}
+
+// seriesGroup is a dynamic family: fn materializes the family's labeled
+// children at snapshot time, so short-lived label values (job IDs) never
+// accumulate permanent slots in the registry.
+type seriesGroup struct {
+	base, help string
+	kind       Kind
+	fn         func() []Series
 }
 
 // NewRegistry creates an empty registry.
-func NewRegistry() *Registry { return &Registry{m: make(map[string]*series)} }
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*series), groups: make(map[string]*seriesGroup)}
+}
 
 // Default is the process-wide registry. Process-global instrumentation
 // (the gpu program cache and uniform memo) registers here at init; servers
@@ -216,6 +229,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.mu.Unlock()
 }
 
+// SeriesFunc attaches a dynamic family under one base name: fn is invoked
+// at snapshot time and returns the family's current children, fully formed
+// (Name carrying the label set; for histograms, Buckets/Sum/Count; for
+// counters and gauges, Value — Help and Kind are overwritten from the
+// registration). This is how per-job labeled series stay leak-free: when a
+// job is pruned its children simply stop appearing, with no unregister
+// step. Re-attaching under an existing base replaces the previous function
+// (the last-registration-wins contract of the *Func variants).
+func (r *Registry) SeriesFunc(base, help string, kind Kind, fn func() []Series) {
+	r.mu.Lock()
+	r.groups[base] = &seriesGroup{base: base, help: help, kind: kind, fn: fn}
+	r.mu.Unlock()
+}
+
 // Value returns the current value of a counter or gauge series (0 for
 // unknown names or histograms) — the programmatic read used by
 // gevo-bench's cache-health report.
@@ -241,7 +268,8 @@ func (r *Registry) Value(name string) float64 {
 	return 0
 }
 
-// Snapshot returns a consistent, name-sorted copy of every series. Value
+// Snapshot returns a consistent, name-sorted copy of every series,
+// including the children of dynamic families. Value functions and family
 // functions are evaluated outside the registry lock, so attached closures
 // may take their own locks freely.
 func (r *Registry) Snapshot() []Series {
@@ -254,6 +282,15 @@ func (r *Registry) Snapshot() []Series {
 	sort.Strings(names)
 	for _, name := range names {
 		slots = append(slots, r.m[name])
+	}
+	bases := make([]string, 0, len(r.groups))
+	for base := range r.groups {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	groups := make([]*seriesGroup, 0, len(bases))
+	for _, base := range bases {
+		groups = append(groups, r.groups[base])
 	}
 	r.mu.Unlock()
 
@@ -283,6 +320,13 @@ func (r *Registry) Snapshot() []Series {
 		}
 		out[i] = ser
 	}
+	for _, g := range groups {
+		for _, ser := range g.fn() {
+			ser.Help, ser.Kind = g.help, g.kind
+			out = append(out, ser)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -360,14 +404,33 @@ func histName(name, suffix, le string) string {
 
 // WritePrometheus writes the snapshot in Prometheus text exposition format
 // (version 0.0.4). Series sharing a base name (fixed label sets) are
-// grouped under one # HELP/# TYPE header.
+// grouped under one # HELP/# TYPE header. The snapshot is re-sorted by
+// (base name, full name): plain name-order interleaves families — '{'
+// sorts after '_', so `x_total` lands between `x` and `x{...}` — and the
+// format forbids both the resulting split family and its repeated headers.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	sort.SliceStable(snap, func(i, j int) bool {
+		bi, bj := baseName(snap[i].Name), baseName(snap[j].Name)
+		if bi != bj {
+			return bi < bj
+		}
+		return snap[i].Name < snap[j].Name
+	})
+	// One header per family, preferring the first non-empty help text.
+	help := map[string]string{}
+	for _, s := range snap {
+		base := baseName(s.Name)
+		if s.Help != "" && help[base] == "" {
+			help[base] = s.Help
+		}
+	}
 	prevBase := ""
-	for _, s := range r.Snapshot() {
+	for _, s := range snap {
 		base := baseName(s.Name)
 		if base != prevBase {
-			if s.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, helpEscaper.Replace(s.Help)); err != nil {
+			if h := help[base]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, helpEscaper.Replace(h)); err != nil {
 					return err
 				}
 			}

@@ -109,6 +109,58 @@ func TestSnapshotSorted(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusGolden pins the full 0.0.4 exposition byte-for-byte:
+// one HELP/TYPE header per family (labeled children grouped under it, even
+// when registered out of order or materialized by a SeriesFunc), histogram
+// buckets cumulative and le-sorted with the +Inf bucket, and the _sum and
+// _count pair closing each histogram. Scrapers parse this format by
+// position, so the exact layout is a contract, not a style choice.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gevo_a_total", "Things counted.").Add(7)
+	r.Gauge(`gevo_jobs{state="queued"}`, "Jobs by state.").Set(1)
+	r.Gauge(`gevo_jobs{state="running"}`, "Jobs by state.").Set(2)
+	h := r.Histogram("gevo_lat_seconds", "Latency.", []float64{0.25, 0.5, 1})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(2)
+	// Children deliberately returned unsorted: the writer must regroup them.
+	r.SeriesFunc("gevo_job_evals_total", "Evaluations charged per job.", KindCounter, func() []Series {
+		return []Series{
+			{Name: Labels("gevo_job_evals_total", "job", "jb"), Value: 5},
+			{Name: Labels("gevo_job_evals_total", "job", "ja"), Value: 3},
+		}
+	})
+
+	const want = `# HELP gevo_a_total Things counted.
+# TYPE gevo_a_total counter
+gevo_a_total 7
+# HELP gevo_job_evals_total Evaluations charged per job.
+# TYPE gevo_job_evals_total counter
+gevo_job_evals_total{job="ja"} 3
+gevo_job_evals_total{job="jb"} 5
+# HELP gevo_jobs Jobs by state.
+# TYPE gevo_jobs gauge
+gevo_jobs{state="queued"} 1
+gevo_jobs{state="running"} 2
+# HELP gevo_lat_seconds Latency.
+# TYPE gevo_lat_seconds histogram
+gevo_lat_seconds_bucket{le="0.25"} 1
+gevo_lat_seconds_bucket{le="0.5"} 2
+gevo_lat_seconds_bucket{le="1"} 2
+gevo_lat_seconds_bucket{le="+Inf"} 3
+gevo_lat_seconds_sum 2.4
+gevo_lat_seconds_count 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("exposition diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 // promLine matches one Prometheus text-format sample line.
 var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCrashGuard pins the postmortem contract: a panic under the guard
+// writes a parseable dump carrying the panic value, the stack, the metrics
+// snapshot and the journal — and then re-raises, so the crash stays a crash.
+func TestCrashGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "postmortem.json")
+	reg := NewRegistry()
+	reg.Counter("gevo_test_crashes_total", "").Add(1)
+	col := NewCollector(reg, 16)
+	col.Emit(Event{Type: "before.crash", Attrs: []Attr{A("k", "v")}})
+
+	var rethrown any
+	func() {
+		defer func() { rethrown = recover() }()
+		defer CrashGuard(path, reg, col)()
+		panic("kaboom")
+	}()
+	if rethrown != "kaboom" {
+		t.Fatalf("guard re-raised %v, want the original panic value", rethrown)
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("postmortem not written: %v", err)
+	}
+	var doc PostmortemDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("postmortem is not valid JSON: %v", err)
+	}
+	if doc.Panic != "kaboom" {
+		t.Fatalf("dump panic %q, want kaboom", doc.Panic)
+	}
+	if doc.Stack == "" || doc.WrittenUnixMs == 0 {
+		t.Fatalf("dump missing stack or timestamp: %+v", doc)
+	}
+	if !strings.Contains(doc.Metrics, "gevo_test_crashes_total 1") {
+		t.Fatalf("dump metrics snapshot missing counter:\n%s", doc.Metrics)
+	}
+	found := false
+	for _, rec := range doc.Journal {
+		if rec.Type == "before.crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dump journal missing pre-crash record: %+v", doc.Journal)
+	}
+
+	// No panic, no dump: the guard must be a pure pass-through on the happy
+	// path.
+	clean := filepath.Join(t.TempDir(), "clean.json")
+	func() {
+		defer CrashGuard(clean, reg, col)()
+	}()
+	if _, err := os.Stat(clean); !os.IsNotExist(err) {
+		t.Fatalf("guard wrote a dump without a panic (err=%v)", err)
+	}
+}

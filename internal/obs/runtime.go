@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	rm "runtime/metrics"
+	"sort"
+)
+
+// The runtime bridge: Go's own telemetry (goroutine counts, GC pauses,
+// scheduler latency) surfaced through the registry so one scrape of
+// /metrics answers both "what is the search doing" and "what is the
+// process doing". Everything here is read on demand at snapshot time —
+// zero cost between scrapes — and observes only, like every obs surface.
+
+// runtimeHistBounds are the condensed bucket bounds (seconds) runtime
+// histograms are re-binned into: runtime/metrics emits hundreds of
+// hardware-granularity buckets, far too many for a text exposition.
+var runtimeHistBounds = []float64{1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1}
+
+// readSample reads one runtime/metrics sample by name.
+func readSample(name string) rm.Value {
+	s := []rm.Sample{{Name: name}}
+	rm.Read(s)
+	return s[0].Value
+}
+
+// sampleFloat converts a scalar runtime/metrics value to float64 (0 for
+// unsupported kinds, e.g. a metric this Go version does not publish).
+func sampleFloat(v rm.Value) float64 {
+	switch v.Kind() {
+	case rm.KindUint64:
+		return float64(v.Uint64())
+	case rm.KindFloat64:
+		return v.Float64()
+	}
+	return 0
+}
+
+// condenseHist re-bins a runtime Float64Histogram into the registry's
+// cumulative bucket form under the given bounds. The sum is approximated
+// from bucket midpoints — the runtime does not retain exact sums — which
+// is accurate enough for rate() and quantile dashboards.
+func condenseHist(name string, h *rm.Float64Histogram) Series {
+	ser := Series{Name: name, Kind: KindHistogram}
+	counts := make([]int64, len(runtimeHistBounds)+1)
+	var sum float64
+	var total int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		rep := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1):
+			rep = hi
+		case math.IsInf(hi, 1):
+			rep = lo
+		}
+		j := sort.SearchFloat64s(runtimeHistBounds, hi)
+		counts[j] += int64(c)
+		sum += float64(c) * rep
+		total += int64(c)
+	}
+	ser.Buckets = make([]Bucket, len(counts))
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		le := math.Inf(1)
+		if i < len(runtimeHistBounds) {
+			le = runtimeHistBounds[i]
+		}
+		ser.Buckets[i] = Bucket{Le: le, Count: cum}
+	}
+	ser.Sum = sum
+	ser.Count = total
+	return ser
+}
+
+// RegisterRuntimeMetrics bridges Go runtime telemetry into the registry
+// under gevo_go_* names: goroutine and heap gauges, GC cycle/CPU counters,
+// and GC-pause and scheduler-latency histograms. Idempotent; safe to call
+// on any registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("gevo_go_goroutines", "Live goroutines (runtime/metrics /sched/goroutines).",
+		func() float64 { return sampleFloat(readSample("/sched/goroutines:goroutines")) })
+	r.GaugeFunc("gevo_go_heap_bytes", "Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).",
+		func() float64 { return sampleFloat(readSample("/memory/classes/heap/objects:bytes")) })
+	r.CounterFunc("gevo_go_gc_cycles_total", "Completed GC cycles (runtime/metrics /gc/cycles/total).",
+		func() float64 { return sampleFloat(readSample("/gc/cycles/total:gc-cycles")) })
+	r.CounterFunc("gevo_go_gc_cpu_seconds_total", "CPU seconds spent in GC (runtime/metrics /cpu/classes/gc/total).",
+		func() float64 { return sampleFloat(readSample("/cpu/classes/gc/total:cpu-seconds")) })
+	r.SeriesFunc("gevo_go_gc_pause_seconds", "Stop-the-world GC pause durations (runtime/metrics /gc/pauses).",
+		KindHistogram, func() []Series {
+			v := readSample("/gc/pauses:seconds")
+			if v.Kind() != rm.KindFloat64Histogram {
+				return nil
+			}
+			return []Series{condenseHist("gevo_go_gc_pause_seconds", v.Float64Histogram())}
+		})
+	r.SeriesFunc("gevo_go_sched_latency_seconds", "Time goroutines spend runnable before running (runtime/metrics /sched/latencies).",
+		KindHistogram, func() []Series {
+			v := readSample("/sched/latencies:seconds")
+			if v.Kind() != rm.KindFloat64Histogram {
+				return nil
+			}
+			return []Series{condenseHist("gevo_go_sched_latency_seconds", v.Float64Histogram())}
+		})
+}

@@ -208,6 +208,16 @@ func (c *Client) Result(ctx context.Context, id string) (*serve.JobResult, error
 	return &res, nil
 }
 
+// Costs fetches a job's cost-account document: evaluation work charged to
+// the job so far, plus the trace identity linking it to /debug/trace.
+func (c *Client) Costs(ctx context.Context, id string) (*serve.JobCosts, error) {
+	var doc serve.JobCosts
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/costs", nil, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
 // Diag fetches a job's diagnosis document: search-health stats, the
 // per-operator contribution table, and the kernel report for the ring-best
 // genome when one is available.

@@ -3,6 +3,7 @@ package serve
 import (
 	"gevo/internal/core"
 	"gevo/internal/island"
+	"gevo/internal/obs"
 )
 
 // State is a job's lifecycle position. The machine is
@@ -36,20 +37,27 @@ func (s State) Terminal() bool {
 // search legitimately recounts genomes its cold cache re-requests (see
 // core.EngineState), so they live on JobStatus instead.
 type JobResult struct {
-	Workload    string   `json:"workload"`
-	Demes       int      `json:"demes"`
-	Pop         int      `json:"pop"`
-	Generations int      `json:"generations"`
-	Seed        uint64   `json:"seed"`
-	BestDeme    int      `json:"best_deme"`
-	BestArch    string   `json:"best_arch"`
-	BaseMs      float64  `json:"base_ms"`
-	BestMs      float64  `json:"best_ms"`
-	Speedup     float64  `json:"speedup"`
-	Migrations  int      `json:"migrations"`
-	GenomeEdits int      `json:"genome_edits"`
-	Genome      []string `json:"genome,omitempty"`
-	Validated   bool     `json:"validated"`
+	Workload    string  `json:"workload"`
+	Demes       int     `json:"demes"`
+	Pop         int     `json:"pop"`
+	Generations int     `json:"generations"`
+	Seed        uint64  `json:"seed"`
+	BestDeme    int     `json:"best_deme"`
+	BestArch    string  `json:"best_arch"`
+	BaseMs      float64 `json:"base_ms"`
+	BestMs      float64 `json:"best_ms"`
+	Speedup     float64 `json:"speedup"`
+	Migrations  int     `json:"migrations"`
+	GenomeEdits int     `json:"genome_edits"`
+	// Costs is the job's cost account, attached when the result is served —
+	// never when it is persisted or cached: costs are process-local
+	// telemetry (a resumed job recounts only the work it redid), so keeping
+	// them out of the stored document preserves its byte-identity
+	// invariant. Consumers diffing result documents across runs must strip
+	// this block (serve_smoke.sh does).
+	Costs     *JobCosts `json:"costs,omitempty"`
+	Genome    []string  `json:"genome,omitempty"`
+	Validated bool      `json:"validated"`
 	// Lineage is the winning deme's best-improvement provenance chain:
 	// one line per generation that set a new best-ever fitness. It is a
 	// deterministic function of the spec (the search records it as part of
@@ -73,6 +81,20 @@ type LineageLine struct {
 	Edits   int     `json:"edits"`
 }
 
+// JobCosts is the serve-time cost document of one job: the account's
+// totals plus the trace identity linking them to the flight recorder's
+// spans. Served at GET /jobs/{id}/costs and attached to JobResult when a
+// finished job is read (never persisted — see JobResult.Costs).
+type JobCosts struct {
+	JobID string `json:"job_id,omitempty"`
+	// Trace is the job's trace ID; Span the job root span. A costs document
+	// and a /debug/trace export sharing a trace ID describe the same work.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+	State State  `json:"state,omitempty"`
+	core.CostTotals
+}
+
 // JobStatus is the externally visible snapshot of a job, served by the
 // status and list endpoints and carried in progress events.
 type JobStatus struct {
@@ -80,6 +102,10 @@ type JobStatus struct {
 	Key   string  `json:"key"`
 	Spec  JobSpec `json:"spec"`
 	State State   `json:"state"`
+	// Trace is the job's W3C trace ID: minted at submission (or adopted
+	// from the submitter's traceparent), shared by every span the job's
+	// slices, evaluations and compiles emit.
+	Trace string `json:"trace,omitempty"`
 	// Gen is per-deme generations completed out of Spec.Generations.
 	Gen int `json:"gen"`
 	// BestSpeedup and BestDeme summarize the ring-wide best so far.
@@ -137,6 +163,15 @@ type job struct {
 	claimed      bool
 	cancelWanted bool
 
+	// cost is the job's evaluation-cost account, charged by the pool for
+	// every evaluation the job's search requests; trace/root identify the
+	// job's root span (trace survives restarts via the ledger, the span is
+	// re-begun per process).
+	cost     *core.Cost
+	trace    string
+	root     obs.SpanContext
+	rootSpan *obs.Span
+
 	// search is the live island search, built lazily on first claim (from
 	// scratch or from the job's checkpoint).
 	search *island.Search
@@ -162,6 +197,7 @@ func (j *job) status() JobStatus {
 		Key:             j.key,
 		Spec:            j.spec,
 		State:           j.state,
+		Trace:           j.trace,
 		Gen:             j.gen,
 		BestSpeedup:     j.bestSpeedup,
 		BestDeme:        j.bestDeme,
@@ -177,6 +213,18 @@ func (j *job) status() JobStatus {
 		Result:          j.result,
 	}
 	return st
+}
+
+// costsDoc snapshots the job's cost account (nil when the job predates the
+// accounting layer, which cannot happen for jobs created by this binary).
+func (j *job) costsDoc() *JobCosts {
+	if j.cost == nil {
+		return nil
+	}
+	return &JobCosts{
+		JobID: j.id, Trace: j.trace, Span: j.root.SpanID, State: j.state,
+		CostTotals: j.cost.Totals(),
+	}
 }
 
 // GenPoint is one generation of ring-wide progress: the best fitness and
@@ -195,6 +243,11 @@ type Event struct {
 	Type string     `json:"type"`
 	Job  JobStatus  `json:"job"`
 	Gens []GenPoint `json:"gens,omitempty"`
+	// Trace and Span tie the event into the job's trace: Trace is the job's
+	// trace ID, Span the span of the slice that produced the event (the job
+	// root span for lifecycle events).
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 	// Pool is a sample of the shared evaluation pool taken when the event
 	// was built, so SSE watchers see server load without polling.
 	Pool *core.PoolStats `json:"pool,omitempty"`

@@ -27,6 +27,7 @@ type ledgerJob struct {
 	Submits         int     `json:"submits"`
 	Cached          bool    `json:"cached,omitempty"`
 	Error           string  `json:"error,omitempty"`
+	Trace           string  `json:"trace,omitempty"`
 	SubmittedUnixMs int64   `json:"submitted_unix_ms"`
 	StartedUnixMs   int64   `json:"started_unix_ms,omitempty"`
 	DoneUnixMs      int64   `json:"done_unix_ms,omitempty"`

@@ -59,6 +59,11 @@ type Options struct {
 	// domains: the shared eval pool's dispatch site and every step of the
 	// persistence shim (nil = injection off, the production default).
 	Inject *fault.Injector
+	// PostmortemPath, when non-empty, arms the crash postmortem: a panic in
+	// a manager-owned goroutine (executor, persister) writes the flight
+	// recorder journal and a metrics snapshot there as one JSON document
+	// before re-raising. Empty disables the guard (panics propagate bare).
+	PostmortemPath string
 }
 
 func (o *Options) fill() {
@@ -271,6 +276,40 @@ func (m *Manager) initObs() {
 			}
 			return min
 		})
+	// Per-job cost accounting as dynamic labeled families: the children are
+	// materialized from the live job table (plus the pool's unattributed
+	// account) at snapshot time, so pruned jobs' series vanish with them —
+	// no unregister step, no label leak.
+	type costCol struct {
+		base, help string
+		get        func(t core.CostTotals) float64
+	}
+	cols := []costCol{
+		{"gevo_job_evals_total", "Evaluation requests charged to the job (cache hits + computes).", func(t core.CostTotals) float64 { return float64(t.Evals) }},
+		{"gevo_job_evals_completed_total", "Simulations the job's requests actually ran.", func(t core.CostTotals) float64 { return float64(t.Completed) }},
+		{"gevo_job_cache_hits_total", "Fitness-cache hits charged to the job.", func(t core.CostTotals) float64 { return float64(t.CacheHits) }},
+		{"gevo_job_slices_total", "Executor slices charged to the job.", func(t core.CostTotals) float64 { return float64(t.Slices) }},
+		{"gevo_job_slice_seconds_total", "Wall time of the job's executor slices.", func(t core.CostTotals) float64 { return float64(t.SliceCPUNs) / 1e9 }},
+		{"gevo_job_launches_total", "Kernel launches charged to the job.", func(t core.CostTotals) float64 { return float64(t.Launches) }},
+		{"gevo_job_dyn_instrs_total", "Dynamic instructions charged to the job.", func(t core.CostTotals) float64 { return float64(t.DynInstrs) }},
+		{"gevo_job_program_hits_total", "Program-cache hits charged to the job.", func(t core.CostTotals) float64 { return float64(t.ProgramHits) }},
+		{"gevo_job_program_misses_total", "Program compiles charged to the job.", func(t core.CostTotals) float64 { return float64(t.ProgramMisses) }},
+		{"gevo_job_memo_hits_total", "Timing-memo replays charged to the job.", func(t core.CostTotals) float64 { return float64(t.MemoHits) }},
+	}
+	for _, c := range cols {
+		c := c
+		m.reg.SeriesFunc(c.base, c.help, obs.KindCounter, func() []obs.Series {
+			accts := m.costAccounts()
+			out := make([]obs.Series, 0, len(accts))
+			for _, a := range accts {
+				out = append(out, obs.Series{
+					Name:  obs.Labels(c.base, "job", a.Label()),
+					Value: c.get(a.Totals()),
+				})
+			}
+			return out
+		})
+	}
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		st := st
 		m.reg.GaugeFunc(obs.Labels("gevo_serve_jobs", "state", string(st)), "Jobs by lifecycle state.",
@@ -287,6 +326,55 @@ func (m *Manager) initObs() {
 			})
 	}
 	m.pool.Register(m.reg)
+	// Compile/cache events are emitted through the gpu package-global sink
+	// (the process-wide program cache cannot carry per-manager sinks); the
+	// newest manager claims it, same as the func-instrument registrations
+	// above. Without this the compile leg of a job's trace never reaches
+	// /debug/trace.
+	gpu.SetSink(m.col)
+}
+
+// costAccounts snapshots the accounts behind the gevo_job_* families: one
+// per live job record, plus the pool's unattributed account — so the scrape
+// always sums to the pool-wide gevo_pool_* counters.
+func (m *Manager) costAccounts() []*core.Cost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*core.Cost, 0, len(m.order)+1)
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok && j.cost != nil {
+			out = append(out, j.cost)
+		}
+	}
+	return append(out, m.pool.Unattributed())
+}
+
+// crashGuard returns the deferred recover hook for manager-owned
+// goroutines: a no-op without Options.PostmortemPath, otherwise the
+// postmortem writer (dump journal + metrics, then re-raise).
+func (m *Manager) crashGuard() func() {
+	if m.opts.PostmortemPath == "" {
+		return func() {}
+	}
+	return obs.CrashGuard(m.opts.PostmortemPath, m.reg, m.col)
+}
+
+// beginJobSpan starts (or restarts) a job's root span under parent — the
+// submitter's traceparent for new jobs, the job's own recorded trace for
+// requeues and restarts (invalid parent mints a fresh trace).
+func (m *Manager) beginJobSpan(j *job, parent obs.SpanContext) {
+	sp := obs.StartSpanFrom(parent, m.col, "job", obs.A("job", j.id))
+	j.rootSpan = sp
+	j.root = sp.Context()
+	j.trace = j.root.TraceID
+}
+
+// endJobSpan closes the job's root span at a terminal transition.
+func (j *job) endJobSpan(state State) {
+	if j.rootSpan != nil {
+		j.rootSpan.End(obs.A("state", string(state)))
+		j.rootSpan = nil
+	}
 }
 
 // Metrics returns the manager's registry (the /metrics surface).
@@ -329,6 +417,7 @@ func (m *Manager) recover() error {
 			state: lj.State, gen: lj.Gen, bestDeme: -1,
 			submits: lj.Submits, cached: lj.Cached, errMsg: lj.Error,
 			submittedMs: lj.SubmittedUnixMs, startedMs: lj.StartedUnixMs, doneMs: lj.DoneUnixMs,
+			cost: core.NewCost(lj.ID), trace: lj.Trace,
 		}
 		switch lj.State {
 		case StateDone:
@@ -343,6 +432,11 @@ func (m *Manager) recover() error {
 		case StateQueued, StateRunning:
 			j.state = StateQueued
 			j.startedMs = 0
+			// Resume the job's trace across the restart: a new root span is
+			// begun (the old process's never ended in this journal), but it
+			// keeps the ledger-recorded trace ID, so the submit-to-result
+			// causal chain stays one trace.
+			m.beginJobSpan(j, obs.SpanContext{TraceID: j.trace})
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
@@ -399,6 +493,16 @@ func (e *OverloadedError) Error() string {
 // been pruned but whose result is still in the LRU cache is answered
 // without running anything.
 func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	return m.SubmitTraced(spec, obs.SpanContext{})
+}
+
+// SubmitTraced is Submit with the submitter's span context (the parsed
+// traceparent of the HTTP request): a new job's root span — and therefore
+// every slice, evaluation and compile span beneath it — joins the caller's
+// trace. An invalid parent (the zero SpanContext) mints a fresh trace.
+// Coalesced submissions keep the existing job's trace; the caller's own
+// request span still links through the returned JobStatus.Trace.
+func (m *Manager) SubmitTraced(spec JobSpec, parent obs.SpanContext) (JobStatus, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
@@ -420,6 +524,12 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			j.errMsg = ""
 			j.cancelWanted = false
 			j.doneMs = 0
+			// Requeue keeps the job's trace (the retry is the same logical
+			// work) but needs a fresh root span — the old one ended with the
+			// terminal state.
+			if j.rootSpan == nil {
+				m.beginJobSpan(j, obs.SpanContext{TraceID: j.trace})
+			}
 			m.jobEvent(id, StateQueued)
 			m.wakeup()
 		}
@@ -436,7 +546,12 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 			bestSpeedup: res.Speedup, migrations: res.Migrations,
 			submits: 1, cached: true, result: res,
 			submittedMs: now, doneMs: now,
+			cost: core.NewCost(id),
 		}
+		// A cached answer still joins the caller's trace: a zero-length job
+		// root span records that the work was served without running.
+		m.beginJobSpan(j, parent)
+		j.endJobSpan(StateDone)
 		m.jobs[id] = j
 		m.order = append(m.order, id)
 		// A cache hit resurrects a pruned job record: withdraw any queued
@@ -474,7 +589,9 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	j := &job{
 		id: id, key: key, spec: spec,
 		state: StateQueued, bestDeme: -1, submits: 1, submittedMs: now,
+		cost: core.NewCost(id),
 	}
+	m.beginJobSpan(j, parent)
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.jobEvent(id, StateQueued)
@@ -494,6 +611,19 @@ func (m *Manager) Get(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
+// RootSpan returns the ID of a job's root span ("" for unknown jobs), so
+// the SSE replay snapshot can carry the same trace identity live progress
+// events do.
+func (m *Manager) RootSpan(id string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ""
+	}
+	return j.root.SpanID
+}
+
 // List returns every known job in submission order.
 func (m *Manager) List() []JobStatus {
 	m.mu.Lock()
@@ -505,6 +635,19 @@ func (m *Manager) List() []JobStatus {
 		}
 	}
 	return out
+}
+
+// Costs returns a job's cost-account document: the evaluation work charged
+// to it so far (live totals while running, final totals once terminal) plus
+// its trace identity.
+func (m *Manager) Costs(id string) (*JobCosts, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: no job %q", id)
+	}
+	return j.costsDoc(), nil
 }
 
 // Cancel requests a job stop. A queued job cancels immediately; a job
@@ -526,7 +669,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	j.cancelWanted = true
 	if !j.claimed {
 		m.finalizeLocked(j, StateCancelled, "")
-		e := Event{Type: string(StateCancelled), Job: j.status()}
+		e := Event{Type: string(StateCancelled), Job: j.status(), Trace: j.trace, Span: j.root.SpanID}
 		ev = &e
 	}
 	st := j.status()
@@ -604,6 +747,9 @@ func (m *Manager) Close() {
 // round-robin order, advance it one slice, repeat.
 func (m *Manager) executor() {
 	defer m.wg.Done()
+	// The crash guard runs first on unwind (deferred last): it writes the
+	// postmortem and re-panics, then wg.Done releases Close.
+	defer m.crashGuard()()
 	for {
 		j := m.claimNext()
 		if j == nil {
@@ -656,8 +802,33 @@ func (m *Manager) claimNext() *job {
 // crash-restart replays.
 func (m *Manager) runSlice(j *job) {
 	defer m.wakeup()
+	// serve.slice is the executor's own failure domain: a fault here fires
+	// outside the pool's panic containment, so an injected panic escapes to
+	// the executor's crash guard (the drivable postmortem path).
+	if f := m.opts.Inject.Hit(fault.SiteServeSlice); f.Kind != "" {
+		f.Fire()
+		m.finalize(j, StateFailed, f.Err.Error(), nil)
+		return
+	}
+	// The slice span parents every evaluation the slice requests: the job's
+	// cost account carries it to the pool, which opens pool.eval children
+	// under it (and compiles flow-link from those). Wall time is charged to
+	// the account on the way out, span set or not.
+	start := time.Now()
+	sp := obs.StartSpanFrom(j.root, m.col, "slice", obs.A("job", j.id))
+	if j.cost != nil {
+		j.cost.SetSpan(sp.Context())
+	}
+	sliceDone := func() {
+		if j.cost != nil {
+			j.cost.AddSliceNs(time.Since(start).Nanoseconds())
+			j.cost.SetSpan(obs.SpanContext{})
+		}
+		sp.End()
+	}
 	if j.search == nil {
 		if err := m.openSearch(j); err != nil {
+			sliceDone()
 			m.finalize(j, StateFailed, err.Error(), nil)
 			return
 		}
@@ -667,6 +838,7 @@ func (m *Manager) runSlice(j *job) {
 	m.col.Emit(obs.Event{Type: "serve.slice", Attrs: []obs.Attr{
 		obs.A("job", j.id), obs.AI("gen", int64(j.search.Generation())),
 	}})
+	sliceDone()
 	done := j.search.Done()
 	if m.opts.Dir != "" {
 		cp, err := j.search.Snapshot()
@@ -708,7 +880,7 @@ func (m *Manager) runSlice(j *job) {
 	var ev *Event
 	if j.cancelWanted {
 		m.finalizeLocked(j, StateCancelled, "")
-		e := Event{Type: string(StateCancelled), Job: j.status()}
+		e := Event{Type: string(StateCancelled), Job: j.status(), Trace: j.trace, Span: j.root.SpanID}
 		ev = &e
 	} else {
 		m.persistLocked()
@@ -716,7 +888,8 @@ func (m *Manager) runSlice(j *job) {
 		// load telemetry without polling /stats; the per-deme stats give
 		// them search health without polling /jobs/{id}/diag.
 		ps := m.pool.Stats()
-		e := Event{Type: "progress", Job: j.status(), Gens: points, Pool: &ps, Stats: stats}
+		e := Event{Type: "progress", Job: j.status(), Gens: points, Pool: &ps, Stats: stats,
+			Trace: j.trace, Span: sp.Context().SpanID}
 		ev = &e
 	}
 	m.mu.Unlock()
@@ -747,6 +920,7 @@ func (m *Manager) openSearch(j *job) error {
 			s, rerr := island.RestoreWithPool(w, cp, m.pool)
 			if rerr == nil {
 				s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
+				s.AttachCost(j.cost)
 				j.search = s
 				j.lastEventGen = s.Generation()
 				return nil
@@ -762,6 +936,7 @@ func (m *Manager) openSearch(j *job) error {
 		return err
 	}
 	s.AttachSink(obs.WithAttrs(m.col, obs.A("job", j.id)))
+	s.AttachCost(j.cost)
 	j.search = s
 	return nil
 }
@@ -815,7 +990,7 @@ func (m *Manager) buildResult(j *job) (*JobResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := core.NewEngine(w, core.Config{Arch: gpu.ArchByName(bestArch), Pool: m.pool})
+		eng := core.NewEngine(w, core.Config{Arch: gpu.ArchByName(bestArch), Pool: m.pool, Cost: j.cost})
 		res.Validated = eng.Validate(r.Best.Genome) == nil
 	}
 	return res, nil
@@ -855,7 +1030,7 @@ func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 		m.cache.put(j.key, res)
 	}
 	m.finalizeLocked(j, state, errMsg)
-	ev := Event{Type: string(state), Job: j.status()}
+	ev := Event{Type: string(state), Job: j.status(), Trace: j.trace, Span: j.root.SpanID}
 	m.mu.Unlock()
 	m.publish(ev)
 }
@@ -865,6 +1040,7 @@ func (m *Manager) finalize(j *job, state State, errMsg string, res *JobResult) {
 func (m *Manager) finalizeLocked(j *job, state State, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
+	j.endJobSpan(state)
 	m.jobEvent(j.id, state)
 	j.claimed = false
 	j.cancelWanted = false
@@ -1017,6 +1193,7 @@ func (m *Manager) persistLocked() {
 // then-current table) heals the state machine back to ok.
 func (m *Manager) persister() {
 	defer close(m.persisterDone)
+	defer m.crashGuard()()
 	// maxAttempts 0 = retry until success; shutdown bounds the flush so
 	// Close never spins forever on a dead disk.
 	writeUntilDurable := func(maxAttempts int) {
@@ -1069,7 +1246,7 @@ func (m *Manager) writeLedger() error {
 		}
 		jobs = append(jobs, ledgerJob{
 			ID: j.id, Key: j.key, Spec: j.spec, State: j.state, Gen: j.gen,
-			Submits: j.submits, Cached: j.cached, Error: j.errMsg,
+			Submits: j.submits, Cached: j.cached, Error: j.errMsg, Trace: j.trace,
 			SubmittedUnixMs: j.submittedMs, StartedUnixMs: j.startedMs, DoneUnixMs: j.doneMs,
 		})
 	}

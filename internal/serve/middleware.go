@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"gevo/internal/obs"
+)
+
+// statusWriter captures the response code for the request-metrics
+// middleware. Flush is forwarded so SSE streaming keeps working behind the
+// wrapper (the events handler type-asserts http.Flusher on what it gets).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observe is the ops middleware around the mux: per-route latency
+// histograms and response-code counters (labeled by the mux pattern that
+// matched, so /jobs/{id} is one series, not one per job), an in-flight
+// gauge, and the request span. The span adopts the caller's W3C
+// traceparent when one is sent and is echoed back in the response's
+// traceparent header either way, so a client can join (or learn) the trace
+// that a submission's job spans will carry.
+func (s *Server) observe(w http.ResponseWriter, r *http.Request) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	sp := obs.StartSpanFrom(parent, s.m.Trace(), "http",
+		obs.A("method", r.Method), obs.A("path", r.URL.Path))
+	sc := sp.Context()
+	w.Header().Set("traceparent", sc.Traceparent())
+	r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
+
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	// ServeMux stamps r.Pattern before dispatch, so after it returns the
+	// matched route is readable here (empty for 404s).
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start).Seconds()
+
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	reg := s.m.Metrics()
+	reg.Histogram(obs.Labels("gevo_http_request_seconds", "route", route),
+		"HTTP request latency by matched route.", nil).Observe(elapsed)
+	reg.Counter(obs.Labels("gevo_http_responses_total", "route", route, "code", strconv.Itoa(code)),
+		"HTTP responses by matched route and status code.").Inc()
+	sp.End(obs.A("route", route), obs.A("code", strconv.Itoa(code)))
+}

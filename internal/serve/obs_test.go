@@ -40,8 +40,11 @@ func startObsServer(t *testing.T, opts serve.ServerOptions) (*client.Client, str
 	return client.New(ts.URL), ts.URL
 }
 
-// promSample matches one Prometheus text-format sample line.
-var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+// promSample matches one Prometheus text-format sample line. Label values
+// are quoted strings with backslash escapes and may legally contain '}'
+// (route patterns like "GET /jobs/{id}" do), so the label block is matched
+// value-aware rather than by scanning to the first brace.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
 
 // TestMetricsEndpoint drives one job to completion and then scrapes
 // /metrics: the exposition must be well-formed line by line and carry the

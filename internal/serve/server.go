@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gevo/internal/fault"
+	"gevo/internal/obs"
 )
 
 // Server exposes a Manager over REST with SSE progress streaming:
@@ -18,6 +19,7 @@ import (
 //	GET    /jobs/{id}        one job → JobStatus
 //	DELETE /jobs/{id}        cancel → JobStatus
 //	GET    /jobs/{id}/result finished artifact → JobResult (409 until done)
+//	GET    /jobs/{id}/costs  cost account → JobCosts (live while running)
 //	GET    /jobs/{id}/diag   diagnosis → DiagDoc (stats, operator table, kernel report)
 //	GET    /jobs/{id}/events SSE stream of Events (status replay, then live)
 //	GET    /stats            manager + pool gauges → Stats
@@ -29,6 +31,8 @@ type Server struct {
 	m    *Manager
 	mux  *http.ServeMux
 	opts ServerOptions
+	// inFlight gauges requests currently inside the handler stack.
+	inFlight *obs.Gauge
 }
 
 // ServerOptions tunes the HTTP surface.
@@ -63,11 +67,13 @@ func NewServerWith(m *Manager, opts ServerOptions) *Server {
 		opts.KeepAlive = DefaultKeepAlive
 	}
 	s := &Server{m: m, mux: http.NewServeMux(), opts: opts}
+	s.inFlight = m.Metrics().Gauge("gevo_http_in_flight", "HTTP requests currently being served.")
 	s.mux.HandleFunc("POST /jobs", s.submit)
 	s.mux.HandleFunc("GET /jobs", s.list)
 	s.mux.HandleFunc("GET /jobs/{id}", s.get)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /jobs/{id}/costs", s.costs)
 	s.mux.HandleFunc("GET /jobs/{id}/diag", s.diag)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /stats", s.stats)
@@ -98,7 +104,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, f.Err)
 		return
 	}
-	s.mux.ServeHTTP(w, r)
+	s.observe(w, r)
 }
 
 // apiError is the uniform error body.
@@ -126,7 +132,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("parse job spec: %w", err))
 		return
 	}
-	st, err := s.m.Submit(spec)
+	// The request span (middleware-started, traceparent-adopting) parents
+	// the job's root span, so one trace links submit to slices to evals.
+	parent, _ := obs.SpanFromContext(r.Context())
+	st, err := s.m.SubmitTraced(spec, parent)
 	if err != nil {
 		var over *OverloadedError
 		if errors.As(err, &over) {
@@ -178,7 +187,23 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("job %q is %s, result available once done", id, st.State))
 		return
 	}
-	writeJSON(w, http.StatusOK, st.Result)
+	// Serve a copy with the cost account attached. The stored document never
+	// carries costs (see JobResult.Costs); attaching here keeps the API rich
+	// without breaking the persisted artifact's byte-identity invariant.
+	res := *st.Result
+	res.Costs, _ = s.m.Costs(id)
+	writeJSON(w, http.StatusOK, &res)
+}
+
+// costs serves a job's cost-account document: evaluation work charged to
+// the job so far, plus the trace identity tying it to /debug/trace spans.
+func (s *Server) costs(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.m.Costs(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // diag serves the per-candidate diagnosis document: search-health stats,
@@ -223,7 +248,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	if st.State.Terminal() {
 		typ = string(st.State)
 	}
-	writeSSE(w, Event{Type: typ, Job: st})
+	writeSSE(w, Event{Type: typ, Job: st, Trace: st.Trace, Span: s.m.RootSpan(id)})
 	fl.Flush()
 	if st.State.Terminal() {
 		return

@@ -62,11 +62,11 @@ func FuzzBackendDifferential(f *testing.F) {
 				t.Errorf("%s: threaded run %d fitness %v != interp %v", w.Name(), run, got, want)
 			}
 		}
-		wantHold, err := w.evaluate(w.Base(), gpu.P100, w.hold, gpu.BackendInterp)
+		wantHold, err := w.evaluate(w.Base(), gpu.P100, w.hold, gpu.BackendInterp, nil)
 		if err != nil {
 			t.Fatalf("%s: interp held-out run failed: %v", w.Name(), err)
 		}
-		gotHold, err := w.evaluate(w.Base(), gpu.P100, w.hold, gpu.BackendThreaded)
+		gotHold, err := w.evaluate(w.Base(), gpu.P100, w.hold, gpu.BackendThreaded, nil)
 		if err != nil {
 			t.Fatalf("%s: threaded held-out run failed: %v", w.Name(), err)
 		}

@@ -140,23 +140,32 @@ func (w *Workload) Kernel() string { return w.sc.fn.Name }
 
 // prepare short-circuits the content hash for the immutable base module,
 // like the application workloads do.
-func (w *Workload) prepare(m *ir.Module) (*gpu.Program, error) {
+func (w *Workload) prepare(m *ir.Module, st *gpu.EvalStats) (*gpu.Program, error) {
 	if m == w.base && w.baseProg != nil {
+		if st != nil {
+			st.ProgramHits++
+		}
 		return w.baseProg, nil
 	}
-	return gpu.Prepare(m)
+	return gpu.PrepareStats(m, st)
 }
 
 // Evaluate implements Workload: run the variant on the fitness dataset and
 // demand byte-exact golden output; fitness is simulated kernel time.
 func (w *Workload) Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error) {
-	return w.evaluate(m, arch, w.fit, gpu.BackendAuto)
+	return w.EvaluateCosted(m, arch, nil)
+}
+
+// EvaluateCosted implements workload.Costed: Evaluate with a per-evaluation
+// stats handle threaded through the launch path and the program cache.
+func (w *Workload) EvaluateCosted(m *ir.Module, arch *gpu.Arch, st *gpu.EvalStats) (float64, error) {
+	return w.evaluate(m, arch, w.fit, gpu.BackendAuto, st)
 }
 
 // Validate implements Workload: the held-out dataset must also reproduce
 // its golden output exactly.
 func (w *Workload) Validate(m *ir.Module, arch *gpu.Arch) error {
-	_, err := w.evaluate(m, arch, w.hold, gpu.BackendAuto)
+	_, err := w.evaluate(m, arch, w.hold, gpu.BackendAuto, nil)
 	return err
 }
 
@@ -164,11 +173,11 @@ func (w *Workload) Validate(m *ir.Module, arch *gpu.Arch) error {
 // touching the process-wide default — the hook the differential corpus
 // tests and the suite runner are built on.
 func (w *Workload) EvaluateBackend(m *ir.Module, arch *gpu.Arch, b gpu.Backend) (float64, error) {
-	return w.evaluate(m, arch, w.fit, b)
+	return w.evaluate(m, arch, w.fit, b, nil)
 }
 
-func (w *Workload) evaluate(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend) (float64, error) {
-	res, out, err := w.launch(m, arch, ds, b, w.budget, nil)
+func (w *Workload) evaluate(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend, st *gpu.EvalStats) (float64, error) {
+	res, out, err := w.launchStats(m, arch, ds, b, w.budget, nil, st)
 	if err != nil {
 		return 0, err
 	}
@@ -183,7 +192,7 @@ func (w *Workload) evaluate(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Bac
 // the diagnosis layer keys on. The fitness dataset and golden check are the
 // same as Evaluate's; only the backend differs (profiling forces interp).
 func (w *Workload) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
-	prog, err := w.prepare(m)
+	prog, err := w.prepare(m, nil)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -205,7 +214,11 @@ func (w *Workload) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[
 // launch allocates the datasets on a fresh pooled device, runs the module's
 // kernel once, and returns the launch result plus the output bytes.
 func (w *Workload) launch(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend, budget int64, prof *gpu.Profile) (*gpu.Result, []byte, error) {
-	prog, err := w.prepare(m)
+	return w.launchStats(m, arch, ds, b, budget, prof, nil)
+}
+
+func (w *Workload) launchStats(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backend, budget int64, prof *gpu.Profile, st *gpu.EvalStats) (*gpu.Result, []byte, error) {
+	prog, err := w.prepare(m, st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -215,6 +228,7 @@ func (w *Workload) launch(m *ir.Module, arch *gpu.Arch, ds *dataset, b gpu.Backe
 	}
 	d := gpu.AcquireDevice(arch)
 	defer d.Release()
+	d.Stats = st
 	addrs := make([]int64, len(ds.in))
 	for i, img := range ds.in {
 		base, err := d.Alloc(len(img))

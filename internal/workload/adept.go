@@ -97,12 +97,16 @@ func NewADEPT(v kernels.ADEPTVersion, opt ADEPTOptions) (*ADEPT, error) {
 }
 
 // prepare returns the compiled program for a variant, short-circuiting the
-// content hash for the immutable base module.
-func (a *ADEPT) prepare(m *ir.Module) (*gpu.Program, error) {
+// content hash for the immutable base module (a hit for cost purposes — the
+// compile was already paid).
+func (a *ADEPT) prepare(m *ir.Module, st *gpu.EvalStats) (*gpu.Program, error) {
 	if m == a.base && a.baseProg != nil {
+		if st != nil {
+			st.ProgramHits++
+		}
 		return a.baseProg, nil
 	}
-	return gpu.Prepare(m)
+	return gpu.PrepareStats(m, st)
 }
 
 func (a *ADEPT) reference(pairs []align.Pair) []align.Result {
@@ -146,18 +150,23 @@ func (a *ADEPT) Block() int { return a.block }
 
 // Evaluate implements Workload.
 func (a *ADEPT) Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error) {
-	ms, _, err := a.run(m, arch, a.upFit, a.fitRef, false)
+	return a.EvaluateCosted(m, arch, nil)
+}
+
+// EvaluateCosted implements Costed.
+func (a *ADEPT) EvaluateCosted(m *ir.Module, arch *gpu.Arch, st *gpu.EvalStats) (float64, error) {
+	ms, _, err := a.run(m, arch, a.upFit, a.fitRef, false, st)
 	return ms, err
 }
 
 // EvaluateProfiled implements Profiler.
 func (a *ADEPT) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
-	return a.run(m, arch, a.upFit, a.fitRef, true)
+	return a.run(m, arch, a.upFit, a.fitRef, true, nil)
 }
 
 // Validate implements Workload.
 func (a *ADEPT) Validate(m *ir.Module, arch *gpu.Arch) error {
-	_, _, err := a.run(m, arch, a.upHold, a.holdRef, false)
+	_, _, err := a.run(m, arch, a.upHold, a.holdRef, false, nil)
 	return err
 }
 
@@ -263,12 +272,12 @@ func (e *MismatchError) Error() string {
 	return fmt.Sprintf("%s: pair %d: %s = %d, want %d", e.Workload, e.Pair, e.Field, e.Got, e.Want)
 }
 
-func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, ui *uploadImage, want []align.Result, profile bool) (float64, map[string]*gpu.Profile, error) {
+func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, ui *uploadImage, want []align.Result, profile bool, st *gpu.EvalStats) (float64, map[string]*gpu.Profile, error) {
 	// Verification and compilation go through the content-addressed program
 	// cache (the immutable base module skips even the hash): each distinct
 	// variant is verified and compiled once per process, not once per
 	// evaluation.
-	prog, err := a.prepare(m)
+	prog, err := a.prepare(m, st)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -285,6 +294,7 @@ func (a *ADEPT) run(m *ir.Module, arch *gpu.Arch, ui *uploadImage, want []align.
 
 	d := gpu.AcquireDevice(arch)
 	defer d.Release()
+	d.Stats = st
 	dd, err := ui.upload(d)
 	if err != nil {
 		return 0, nil, err

@@ -111,11 +111,14 @@ func NewSIMCoV(opt SIMCoVOptions) (*SIMCoV, error) {
 
 // prepare returns the compiled program for a variant, short-circuiting the
 // content hash for the immutable base module.
-func (s *SIMCoV) prepare(m *ir.Module) (*gpu.Program, error) {
+func (s *SIMCoV) prepare(m *ir.Module, st *gpu.EvalStats) (*gpu.Program, error) {
 	if m == s.base && s.baseProg != nil {
+		if st != nil {
+			st.ProgramHits++
+		}
 		return s.baseProg, nil
 	}
-	return gpu.Prepare(m)
+	return gpu.PrepareStats(m, st)
 }
 
 // covInit is the initial device state of one grid geometry, marshalled once
@@ -156,14 +159,20 @@ func (s *SIMCoV) Base() *ir.Module { return s.base }
 
 // Evaluate implements Workload: the fitness run.
 func (s *SIMCoV) Evaluate(m *ir.Module, arch *gpu.Arch) (float64, error) {
-	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, nil)
+	return s.EvaluateCosted(m, arch, nil)
+}
+
+// EvaluateCosted implements Costed: Evaluate with a per-evaluation stats
+// handle threaded through the launch path and the program cache.
+func (s *SIMCoV) EvaluateCosted(m *ir.Module, arch *gpu.Arch, st *gpu.EvalStats) (float64, error) {
+	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, nil, st)
 	return ms, err
 }
 
 // EvaluateProfiled implements Profiler.
 func (s *SIMCoV) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[string]*gpu.Profile, error) {
 	profs := map[string]*gpu.Profile{}
-	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, profs)
+	ms, _, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, s.bands, 0, profs, nil)
 	return ms, profs, err
 }
 
@@ -172,10 +181,10 @@ func (s *SIMCoV) EvaluateProfiled(m *ir.Module, arch *gpu.Arch) (float64, map[st
 func (s *SIMCoV) Validate(m *ir.Module, arch *gpu.Arch) error {
 	pp := s.Params
 	pp.Steps = s.longSteps
-	if _, _, err := s.simulate(m, arch, pp, s.initFit, s.longSteps, s.longBands, 0, nil); err != nil {
+	if _, _, err := s.simulate(m, arch, pp, s.initFit, s.longSteps, s.longBands, 0, nil, nil); err != nil {
 		return fmt.Errorf("long run: %w", err)
 	}
-	if _, _, err := s.simulate(m, arch, s.largeP, s.initLarge, s.largeP.Steps, s.largeBands, s.largeArena(), nil); err != nil {
+	if _, _, err := s.simulate(m, arch, s.largeP, s.initLarge, s.largeP.Steps, s.largeBands, s.largeArena(), nil, nil); err != nil {
 		return fmt.Errorf("large grid: %w", err)
 	}
 	return nil
@@ -184,7 +193,7 @@ func (s *SIMCoV) Validate(m *ir.Module, arch *gpu.Arch) error {
 // RunStats executes the variant and returns its stats trajectory without
 // band checking (used by analysis tools and tests).
 func (s *SIMCoV) RunStats(m *ir.Module, arch *gpu.Arch) (float64, []simcov.Stats, error) {
-	ms, stats, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, nil, 0, nil)
+	ms, stats, err := s.simulate(m, arch, s.Params, s.initFit, s.Params.Steps, nil, 0, nil, nil)
 	return ms, stats, err
 }
 
@@ -400,8 +409,8 @@ func (cd *covDevice) step(p simcov.Params) (float64, simcov.Stats, error) {
 // simulate runs `steps` iterations on a fresh device, checking each step's
 // stats against the bands when provided. arenaBytes overrides the device
 // capacity (0 = the architecture default).
-func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, init *covInit, steps int, bands *simcov.Bands, arenaBytes int, profs map[string]*gpu.Profile) (float64, []simcov.Stats, error) {
-	prog, err := s.prepare(m)
+func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, init *covInit, steps int, bands *simcov.Bands, arenaBytes int, profs map[string]*gpu.Profile, st *gpu.EvalStats) (float64, []simcov.Stats, error) {
+	prog, err := s.prepare(m, st)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -412,6 +421,7 @@ func (s *SIMCoV) simulate(m *ir.Module, arch *gpu.Arch, p simcov.Params, init *c
 		d = gpu.AcquireDevice(arch)
 	}
 	defer d.Release()
+	d.Stats = st
 	cd, err := setupCov(d, prog, p, s.Padded, init, s.budget, profs)
 	if err != nil {
 		return 0, nil, err

@@ -32,6 +32,17 @@ type Workload interface {
 	Validate(m *ir.Module, arch *gpu.Arch) error
 }
 
+// Costed is the optional cost-attribution extension of Workload:
+// EvaluateCosted is Evaluate with a per-evaluation stats handle threaded
+// through the launch path and the program cache, so the evaluation pool can
+// charge launches, dynamic instructions and cache outcomes to the job that
+// requested the evaluation. Implementations must return bit-identical
+// fitness to Evaluate — the handle only observes (DESIGN.md §12). A nil st
+// must behave exactly like Evaluate.
+type Costed interface {
+	EvaluateCosted(m *ir.Module, arch *gpu.Arch, st *gpu.EvalStats) (float64, error)
+}
+
 // Options carries the per-family dataset knobs accepted by ByNameWith. A
 // nil field keeps the tools' standard configuration for that family,
 // including the standard dataset seed; a non-nil field is passed through

@@ -79,7 +79,12 @@ check_metrics() {
     gevo_serve_submits_total \
     gevo_gpu_program_cache_hits_total \
     'gevo_serve_ledger_write_seconds_bucket{le="+Inf"}' \
-    gevo_trace_events_total; do
+    gevo_trace_events_total \
+    'gevo_http_request_seconds_bucket{route="POST /jobs",le="+Inf"}' \
+    'gevo_http_request_seconds_bucket{route="GET /jobs/{id}",le="+Inf"}' \
+    'gevo_http_responses_total{route="POST /jobs",code="202"}' \
+    gevo_http_in_flight \
+    'gevo_job_evals_total{job="unattributed"}'; do
     grep -qF "$series" "$scrape" || die "/metrics missing series $series"
   done
   # Exposition-format 0.0.4 metadata: every metric family is announced with
@@ -98,15 +103,30 @@ check_metrics() {
   fi
   grep -qE '^gevo_build_info\{version="[^"]*",go="go[^"]*"\} 1$' "$scrape" \
     || die "/metrics missing gevo_build_info gauge"
-  # Each non-comment line: name[{labels}] value
-  if grep -vE '^(#.*)?$' "$scrape" \
-     | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$' \
-     | grep -q .; then
-    grep -vE '^(#.*)?$' "$scrape" \
-      | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$' || true
+  # Each non-comment line: name[{labels}] value. Label values are quoted
+  # strings with escapes and may themselves contain '}' (route patterns
+  # like "GET /jobs/{id}"), so the label matcher walks quoted values
+  # rather than scanning to the first closing brace.
+  local sample='^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$'
+  if grep -vE '^(#.*)?$' "$scrape" | grep -vE "$sample" | grep -q .; then
+    grep -vE '^(#.*)?$' "$scrape" | grep -vE "$sample" || true
     die "/metrics has malformed exposition lines"
   fi
   say "metrics OK: $(grep -cvE '^(#.*)?$' "$scrape") well-formed series samples"
+}
+
+# check_traceparent sends a W3C traceparent with a request and asserts the
+# response continues the same trace ID (new span position, same trace).
+check_traceparent() {
+  local trace="4bf92f3577b34da6a3ce929d0e0e4736"
+  local hdr
+  hdr="$(curl -sf -D - -o /dev/null \
+    -H "traceparent: 00-$trace-00f067aa0ba902b7-01" "$BASE/healthz" \
+    | tr -d '\r' | grep -i '^traceparent:' | awk '{print $2}')"
+  case "$hdr" in
+    00-"$trace"-????????????????-0?) say "traceparent round-trip OK: $hdr" ;;
+    *) die "response traceparent '${hdr:-<none>}' does not continue trace $trace" ;;
+  esac
 }
 
 run_uninterrupted() { # $1 = state dir, $2 = result prefix
@@ -118,6 +138,7 @@ run_uninterrupted() { # $1 = state dir, $2 = result prefix
     "$WORK/bin/gevo-submit" -server "$BASE" -result "${ids[$i]}" > "$2.$i.json"
   done
   check_metrics
+  check_traceparent
   stop_server_hard
 }
 
@@ -152,8 +173,28 @@ done
 stop_server_hard
 
 say "phase 4: golden comparison"
+# The served result carries a serve-time costs block (CPU time, slice
+# counts) that is process-local by design: a resumed run legitimately
+# spends different CPU than an uninterrupted one. Assert the block is
+# present, then strip it so the diff compares only the deterministic
+# search outcome.
+strip_costs() { # $1 = result json → $1.stripped
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+if "costs" not in doc:
+    sys.exit(path + ": served result is missing the costs block")
+del doc["costs"]
+with open(path + ".stripped", "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+EOF
+}
 for i in "${!IDS[@]}"; do
-  diff -u "$WORK/ref.$i.json" "$WORK/resumed.$i.json" \
+  strip_costs "$WORK/ref.$i.json"
+  strip_costs "$WORK/resumed.$i.json"
+  diff -u "$WORK/ref.$i.json.stripped" "$WORK/resumed.$i.json.stripped" \
     || die "job $i: resumed result differs from uninterrupted run"
 done
 say "PASS: all jobs resumed after kill -9 with bit-identical results"
